@@ -1,0 +1,37 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python3
+
+.PHONY: install test bench experiments examples verify clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner all
+
+examples:
+	$(PYTHON) examples/quickstart.py 60
+	$(PYTHON) examples/capacity_planning.py
+	$(PYTHON) examples/scheduler_comparison.py 60
+	$(PYTHON) examples/multi_tenant_consolidation.py 60
+	$(PYTHON) examples/trace_toolkit.py
+	$(PYTHON) examples/graduated_sla.py 60
+	$(PYTHON) examples/shared_server_isolation.py 60
+	$(PYTHON) examples/online_provisioning.py 60
+	$(PYTHON) examples/storage_array_sim.py 40
+	$(PYTHON) examples/trace_twin.py 60
+	$(PYTHON) examples/brownout_monitoring.py 30
+
+verify:
+	$(PYTHON) -m repro.experiments.runner --verify
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

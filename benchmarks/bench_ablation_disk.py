@@ -1,0 +1,82 @@
+"""Ablation: shaping on a mechanical disk model instead of the fluid server.
+
+The paper's theory assumes a constant-rate server, but its evaluation ran
+inside DiskSim with real mechanical timing.  This ablation replays the
+shaped workload against the seek/rotation/transfer disk model
+(:mod:`repro.server.disk`) to check the framework's behaviour survives
+variable service times: the decomposition still protects the primary
+class relative to FCFS at equal hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.request import QoSClass
+from repro.sched.registry import make_scheduler
+from repro.server.base import Server
+from repro.server.disk import DiskModel
+from repro.server.driver import DeviceDriver
+from repro.sim.engine import Simulator
+from repro.sim.source import WorkloadSource
+
+
+@pytest.fixture(scope="module")
+def scaled_workload(workloads):
+    """FinTrans scaled so the disk (~couple hundred IOPS) is ~70% loaded."""
+    w = workloads["fintrans"]
+    disk_capacity = DiskModel(seed=0).nominal_capacity
+    return w.scale_rate(0.7 * disk_capacity / w.mean_rate)
+
+
+def _run_on_disk(workload, policy, cmin, delta):
+    sim = Simulator()
+    server = Server(sim, DiskModel(seed=1), name="disk")
+    scheduler = make_scheduler(policy, cmin, 1.0 / delta, delta)
+    driver = DeviceDriver(sim, server, scheduler)
+
+    source = WorkloadSource(sim, workload, driver)
+    # Give requests disk addresses: a zipf-ish hot region plus scans.
+    rng = np.random.default_rng(7)
+
+    def address(request):
+        request.lba = int(rng.integers(0, 2**27))
+        request.size = 4096
+
+    source.on_request = address
+    source.start()
+    sim.run()
+    return driver
+
+
+def test_disk_model_ablation(benchmark, scaled_workload):
+    disk = DiskModel(seed=0)
+    capacity = disk.nominal_capacity
+    delta = 0.05
+    cmin = 0.9 * capacity  # provision most of the drive for Q1
+
+    def run_both():
+        return (
+            _run_on_disk(scaled_workload, "fcfs", cmin, delta),
+            _run_on_disk(scaled_workload, "miser", cmin, delta),
+        )
+
+    fcfs, miser = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    n = len(scaled_workload)
+    assert len(fcfs.completed) == n
+    assert len(miser.completed) == n
+
+    primary = miser.by_class[QoSClass.PRIMARY]
+    print()
+    print(
+        f"disk nominal capacity ~{capacity:.0f} IOPS; "
+        f"fcfs<=delta={fcfs.fraction_within(delta):.3f} "
+        f"miser Q1<=delta={primary.fraction_within(delta):.3f} "
+        f"(Q1 share {len(primary) / n:.2f})"
+    )
+
+    # Even with mechanical (variable) service times, the shaped primary
+    # class meets the deadline more often than the unshaped FCFS stream.
+    assert primary.fraction_within(delta) > fcfs.fraction_within(delta)

@@ -1,0 +1,62 @@
+"""Benchmark: multi-tenant isolation at library-trace scale.
+
+Beyond the paper's single-client experiments: all three stand-in
+workloads share one server provisioned with the additive decomposed
+estimate (the policy Figures 7-8 validate), and one tenant floods at 3x
+its plan.  Asserts the Section 1 requirement that conforming clients
+"receive their reservations without interference from misbehaving
+clients with demand overruns".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tenancy import SharedServer, Tenant
+from repro.units import ms
+
+
+@pytest.fixture(scope="module")
+def shared(workloads):
+    tenants = [
+        Tenant(workloads["websearch"], fraction=0.90, delta=ms(20)),
+        Tenant(workloads["fintrans"], fraction=0.90, delta=ms(20)),
+        Tenant(workloads["openmail"], fraction=0.90, delta=ms(20)),
+    ]
+    return SharedServer(tenants, headroom=1.15)
+
+
+def test_isolation_benchmark(benchmark, shared):
+    def run_both():
+        return shared.run(), shared.run(overload={"OpenMail": 3.0})
+
+    baseline, flooded = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print()
+    for label, result in (("baseline", baseline), ("flooded", flooded)):
+        for name, report in result.reports.items():
+            print(
+                f"{label:9s} {name:10s} guaranteed+met="
+                f"{report.guaranteed_fraction_served:6.1%} "
+                f"misses={report.primary_misses:4d} "
+                f"overflow share={len(report.overflow) / report.n_requests:6.1%}"
+            )
+
+    assert baseline.feasible
+    # Every tenant hits its target when all conform.
+    for name, report in baseline.reports.items():
+        assert report.guaranteed_fraction_served >= 0.88, name
+
+    # Under the flood, the conforming tenants keep their guarantees...
+    for name in ("WebSearch", "FinTrans"):
+        before = baseline.report(name).guaranteed_fraction_served
+        after = flooded.report(name).guaranteed_fraction_served
+        assert after >= before - 0.02, name
+        assert flooded.report(name).primary_misses <= baseline.report(
+            name
+        ).primary_misses + 2
+
+    # ...and the flooder absorbs its own damage in the overflow class.
+    om = flooded.report("OpenMail")
+    om_overflow_share = len(om.overflow) / om.n_requests
+    assert om_overflow_share > 0.3

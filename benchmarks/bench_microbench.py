@@ -1,0 +1,58 @@
+"""Microbenchmarks: throughput of the hot paths.
+
+Not tied to a specific figure — these measure the building blocks so
+performance regressions in the library itself are visible:
+
+* RTT decomposition throughput (requests/second of trace processed),
+* a full binary-search capacity plan,
+* discrete-event simulation throughput per policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capacity import CapacityPlanner
+from repro.core.rtt import count_admitted, decompose
+from repro.shaping import run_policy
+
+
+@pytest.fixture(scope="module")
+def openmail_batched(workloads):
+    instants, counts = workloads["openmail"].arrival_counts()
+    return instants.tolist(), counts.tolist()
+
+
+def test_count_admitted_throughput(benchmark, workloads, openmail_batched):
+    instants, counts = openmail_batched
+    w = workloads["openmail"]
+    result = benchmark(count_admitted, instants, counts, 900.0, 0.010)
+    assert 0 < result <= len(w)
+
+
+def test_decompose_with_mask_throughput(benchmark, workloads):
+    w = workloads["openmail"]
+    result = benchmark(decompose, w, 900.0, 0.010)
+    assert result.n_admitted + result.n_overflow == len(w)
+
+
+def test_capacity_plan_full_search(benchmark, workloads):
+    w = workloads["websearch"]
+
+    def plan():
+        return CapacityPlanner(w, 0.010).min_capacity(0.9)
+
+    cmin = benchmark.pedantic(plan, rounds=1, iterations=1)
+    assert cmin > 0
+
+
+@pytest.mark.parametrize("policy", ["fcfs", "fairqueue", "miser", "split"])
+def test_simulation_throughput(benchmark, workloads, policy):
+    w = workloads["fintrans"]
+    cmin = CapacityPlanner(w, 0.010).min_capacity(0.9)
+
+    def simulate():
+        return run_policy(w, policy, cmin, 100.0, 0.010)
+
+    result = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    assert len(result.overall) == len(w)

@@ -1,0 +1,58 @@
+"""Scheduler-family independence of the FairQueue recombiner.
+
+The paper says FairQueue can be "WF2Q, SFQ, pClock" — i.e. the result
+should not depend on which proportional-share scheduler implements the
+split.  This benchmark runs the Figure 6 configuration under all three
+fair-queuing families in this repository (SFQ virtual time, WF²Q+
+eligibility, deficit round robin) and asserts their headline numbers
+agree within tight bands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capacity import CapacityPlanner
+from repro.shaping import run_policy
+from repro.units import ms
+
+FAMILIES = ("fairqueue", "wf2q", "drr")
+
+
+def test_fair_queue_families_agree(benchmark, workloads):
+    workload = workloads["websearch"]
+    delta = ms(50)
+    cmin = CapacityPlanner(workload, delta).min_capacity(0.9)
+    delta_c = 1.0 / delta
+
+    def run_all():
+        return {
+            family: run_policy(workload, family, cmin, delta_c, delta)
+            for family in FAMILIES
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    for family, result in results.items():
+        print(
+            f"{family:10s} <=delta={result.fraction_within():.3f} "
+            f"Q1 misses={result.primary_misses:3d} "
+            f"overflow mean={result.overflow.stats.mean * 1000:7.1f} ms"
+        )
+
+    compliance = [r.fraction_within() for r in results.values()]
+    assert max(compliance) - min(compliance) < 0.03
+
+    # The live classifier's admissions depend on completion order, so
+    # the families' primary-class sizes can differ — but only marginally.
+    q1_counts = [len(r.primary) for r in results.values()]
+    assert max(q1_counts) - min(q1_counts) <= 0.01 * max(q1_counts)
+    # ... and none lets the guaranteed class miss en masse.
+    for family, result in results.items():
+        assert result.primary_misses <= 0.02 * len(result.primary), family
+
+    # Overflow means agree within a factor across families (they differ
+    # in burst interleaving, not in capacity share).
+    means = [r.overflow.stats.mean for r in results.values()]
+    assert max(means) / min(means) < 2.0

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Table 1 (capacity vs guaranteed fraction).
+
+Reproduction criteria asserted:
+
+* every row is monotone in the fraction and anti-monotone in the deadline;
+* the knee ``Cmin(100%) / Cmin(90%)`` at 10 ms is large for every
+  workload, ordered WS < OM (WS's fine-scale-only bursts die out), and
+  FinTrans shows the paper's signature >2x jump for the last 0.1%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+from repro.units import ms
+
+
+def test_table1_benchmark(benchmark, config):
+    outcome = benchmark.pedantic(
+        lambda: table1.run(config), rounds=1, iterations=1
+    )
+    print()
+    print(table1.render(outcome))
+
+    for name, delta, row in outcome.rows():
+        fractions = sorted(row)
+        capacities = [row[f] for f in fractions]
+        assert capacities == sorted(capacities), (name, delta)
+
+    # Capacity falls as the deadline relaxes (same fraction).
+    for name in outcome.capacities:
+        for fraction in (0.9, 1.0):
+            by_delta = [
+                outcome.capacities[name][d][fraction] for d in sorted(outcome.deltas)
+            ]
+            assert by_delta == sorted(by_delta, reverse=True), (name, fraction)
+
+    # The knee (Table 1's headline).
+    knee_ws = outcome.knee("websearch", ms(10))
+    knee_ft = outcome.knee("fintrans", ms(10))
+    knee_om = outcome.knee("openmail", ms(10))
+    assert knee_ws > 2.0
+    assert knee_ft > 4.0
+    assert knee_om > 4.0
+    assert knee_ws < knee_om  # WS's knee is the mildest in the paper
+
+    # FinTrans: the last 0.1% costs a large multiple (paper: ~3x).
+    ft_row = outcome.capacities["fintrans"][ms(10)]
+    assert ft_row[1.0] / ft_row[0.999] > 1.5
+
+    # The knee shrinks as the deadline relaxes.
+    for name in outcome.capacities:
+        assert outcome.knee(name, ms(5)) > outcome.knee(name, ms(50))

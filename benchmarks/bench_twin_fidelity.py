@@ -1,0 +1,58 @@
+"""Benchmark: synthetic-twin fidelity across the whole library.
+
+Fits a generative twin to each stand-in workload and re-runs the
+Table 1 knee on the twin: the twin must reproduce the original's
+provisioning decisions (knee present, same ordering, each curve cell
+within a band) without copying a single arrival instant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capacity import CapacityPlanner
+from repro.traces.synthetic.fit import fit_workload, validate_fit
+
+
+def test_twin_fidelity_benchmark(benchmark, workloads):
+    def fit_all():
+        out = {}
+        for name, workload in workloads.items():
+            model = fit_workload(workload, delta=0.010)
+            out[name] = (model, validate_fit(model, duration=120.0))
+        return out
+
+    fitted = benchmark.pedantic(fit_all, rounds=1, iterations=1)
+
+    print()
+    knees = {}
+    for name, (model, report) in fitted.items():
+        target_knee = report.target_curve[1.0] / report.target_curve[0.9]
+        twin_knee = report.twin_curve[1.0] / report.twin_curve[0.9]
+        knees[name] = (target_knee, twin_knee)
+        print(
+            f"{name:10s} mean x{report.twin_mean / report.target_mean:.2f}  "
+            f"knee {target_knee:.1f}x -> {twin_knee:.1f}x  "
+            f"worst cell x{report.worst_curve_ratio:.2f}"
+        )
+        # Mean rate within 15%.
+        assert report.twin_mean == pytest.approx(report.target_mean, rel=0.15)
+        # Every capacity cell within a factor of 1.7.
+        assert report.worst_curve_ratio < 1.7, name
+        # The knee survives the round trip.
+        assert twin_knee > 0.45 * target_knee
+        assert twin_knee > 2.0
+
+    # Twins preserve the workload ordering (WS mildest knee).
+    assert knees["websearch"][1] < knees["openmail"][1]
+
+    # And the twins never leak arrivals: regenerating with a different
+    # seed yields a different trace with the same shape.
+    model, _ = fitted["fintrans"]
+    a = model.generate(60.0, seed=1)
+    b = model.generate(60.0, seed=2)
+    assert len(a) != len(b) or a.arrivals[0] != b.arrivals[0]
+    knee_a = CapacityPlanner(a, 0.010).min_capacity(1.0) / CapacityPlanner(
+        a, 0.010
+    ).min_capacity(0.9)
+    assert knee_a > 2.0

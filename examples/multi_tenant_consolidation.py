@@ -1,0 +1,95 @@
+"""Multi-tenant provisioning: consolidation estimates and admission control.
+
+The data-center scenario of Sections 2.2 and 4.4: several clients share
+one server.  This example shows
+
+1. how badly worst-case additive estimates over-provision a mix of
+   clients (and how accurate decomposed estimates are), and
+2. how many more clients a decomposition-based admission controller
+   packs onto the same hardware at the same graduated SLA.
+
+Run:  python examples/multi_tenant_consolidation.py [duration_seconds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.core.admission import AdmissionController
+from repro.core.consolidation import consolidate, shifted_merge
+from repro.core.sla import GraduatedSLA
+from repro.traces import fintrans, openmail, websearch
+from repro.units import ms
+
+
+def main(duration: float = 120.0) -> None:
+    delta = ms(10)
+    clients = {
+        "search": websearch(duration=duration),
+        "oltp": fintrans(duration=duration),
+        "mail": openmail(duration=duration),
+    }
+
+    # --- 1. estimate accuracy -------------------------------------------
+    print("Consolidation estimates (sum of individual Cmin vs merged Cmin):\n")
+    rows = []
+    pairs = [("search", "oltp"), ("oltp", "mail"), ("mail", "search")]
+    for fraction in (1.0, 0.90):
+        for a, b in pairs:
+            result = consolidate([clients[a], clients[b]], delta, fraction)
+            rows.append([
+                f"{a}+{b}",
+                f"{fraction:.0%}",
+                int(result.estimate),
+                int(result.actual),
+                f"{result.ratio:.2f}",
+                f"{result.relative_error:.1%}",
+            ])
+    print(format_table(
+        ["pair", "fraction", "estimate", "actual", "act/est", "error"], rows
+    ))
+    print("\nAt 100% the additive estimate over-provisions (bursts rarely "
+          "align); at 90% it is accurate — the variance lives in the tail "
+          "that decomposition exempts.")
+
+    # Same client twice, shifted (Figure 7's experiment).
+    mail = clients["mail"]
+    result = consolidate(
+        [mail, mail], delta, 0.90, merged=shifted_merge(mail, 100.0)
+    )
+    print(f"\nmail+mail shifted by 100 s at 90%: estimate "
+          f"{result.estimate:.0f}, actual {result.actual:.0f} "
+          f"({result.relative_error:.1%} error)")
+
+    # --- 2. admission control -------------------------------------------
+    sla = GraduatedSLA([(0.90, delta)])
+    server_capacity = 4000.0
+    naive = AdmissionController(server_capacity, worst_case=True)
+    smart = AdmissionController(server_capacity)
+
+    def fill(controller):
+        admitted = []
+        while True:
+            progress = False
+            for name, workload in clients.items():
+                if controller.try_admit(workload, sla):
+                    admitted.append(name)
+                    progress = True
+            if not progress:
+                return admitted
+
+    naive_clients = fill(naive)
+    smart_clients = fill(smart)
+    print(f"\nAdmission onto a {server_capacity:.0f} IOPS server at "
+          f"'90% within 10 ms':")
+    print(f"  worst-case sizing admits {len(naive_clients)} clients "
+          f"({naive.committed:.0f} IOPS committed)")
+    print(f"  decomposed sizing admits {len(smart_clients)} clients "
+          f"({smart.committed:.0f} IOPS committed)")
+    print(f"  -> {len(smart_clients) - len(naive_clients)} extra tenants "
+          f"on the same hardware")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 120.0)

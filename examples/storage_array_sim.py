@@ -1,0 +1,97 @@
+"""Storage-array simulation: shaping on realistic multi-disk hardware.
+
+The headline experiments use the paper's constant-rate server; this
+example assembles the heavier substrate end to end — a farm of four
+mechanical disks (seek + rotation + transfer service times) behind one
+device driver — and serves a shaped workload with Miser, comparing
+against FCFS on identical hardware.
+
+It demonstrates the layering: any `ServiceTimeModel` x any scheduler x
+any topology composes under the same driver.
+
+Run:  python examples/storage_array_sim.py [duration_seconds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.request import QoSClass
+from repro.sched.registry import make_scheduler
+from repro.server.disk import DiskModel
+from repro.server.driver import DeviceDriver
+from repro.server.farm import ServerFarm
+from repro.sim.engine import Simulator
+from repro.sim.source import WorkloadSource
+from repro.traces import fintrans
+from repro.units import ms
+
+
+def run_on_array(workload, policy, cmin, delta, n_disks=4):
+    sim = Simulator()
+    farm = ServerFarm(
+        sim, [DiskModel(seed=10 + i) for i in range(n_disks)], name="array"
+    )
+    driver = DeviceDriver(
+        sim, farm, make_scheduler(policy, cmin, 1.0 / delta, delta)
+    )
+    source = WorkloadSource(sim, workload, driver)
+    rng = np.random.default_rng(3)
+
+    def address(request):
+        # Uniform random addressing over the 128 GiB volume: every
+        # request pays a real seek, matching the nominal-IOPS estimate.
+        request.lba = int(rng.integers(0, 2**28))
+        request.size = int(rng.choice([4096, 8192, 16384]))
+
+    source.on_request = address
+    source.start()
+    sim.run()
+    return driver, farm
+
+
+def main(duration: float = 60.0) -> None:
+    delta = ms(30)
+    n_disks = 4
+    per_disk = DiskModel(seed=0).nominal_capacity
+    array_capacity = n_disks * per_disk
+
+    # Scale the workload to ~80% of the array's random-I/O capability —
+    # busy enough that the bursts queue, stable enough to drain.
+    base = fintrans(duration=duration)
+    workload = base.scale_rate(0.80 * array_capacity / base.mean_rate)
+    cmin = 0.9 * array_capacity
+
+    print(f"array: {n_disks} disks x ~{per_disk:.0f} IOPS random "
+          f"(~{array_capacity:.0f} IOPS aggregate)")
+    print(f"workload: {len(workload)} requests at "
+          f"{workload.mean_rate:.0f} IOPS mean; target delta {delta * 1000:g} ms\n")
+
+    rows = []
+    for policy in ("fcfs", "miser"):
+        driver, farm = run_on_array(workload, policy, cmin, delta, n_disks)
+        primary = driver.by_class[QoSClass.PRIMARY]
+        rows.append([
+            policy,
+            f"{driver.fraction_within(delta):.1%}",
+            f"{primary.fraction_within(delta):.1%}" if len(primary) else "-",
+            f"{driver.overall.stats.mean * 1000:.0f} ms",
+            f"{driver.overall.percentile(99) * 1000:.0f} ms",
+            f"{farm.utilization():.0%}",
+        ])
+    print(format_table(
+        ["policy", "all <= delta", "Q1 <= delta", "mean RT", "p99 RT",
+         "disk util"],
+        rows,
+        title="FCFS vs shaped (Miser) on the mechanical array",
+    ))
+    print("\nEven with variable mechanical service times, the shaped "
+          "guaranteed class keeps a better deadline profile and a shorter "
+          "p99 than the unshaped stream on the same spindles.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 60.0)

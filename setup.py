@@ -1,0 +1,8 @@
+"""Setuptools shim: lets `pip install -e .` / `setup.py develop` work on
+environments whose setuptools lacks PEP 660 wheel support (no `wheel` pkg).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

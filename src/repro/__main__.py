@@ -1,0 +1,215 @@
+"""Top-level command-line interface: ``python -m repro <command>``.
+
+Four workflows a storage operator would reach for:
+
+* ``analyze``  — characterize a trace (rate, burstiness, knee preview);
+* ``plan``     — capacity planning for a (fraction, deadline) target;
+* ``simulate`` — serve a trace under a recombination policy and report
+  the response-time distribution;
+* ``generate`` — synthesize a stand-in trace to SPC format;
+* ``report``   — the full provisioning report for one trace: burstiness
+  profile, capacity knee, price menu, and a policy comparison.
+
+Traces are SPC files, or the built-in stand-ins ``websearch`` /
+``fintrans`` / ``openmail`` (optionally with ``:<duration>`` appended,
+e.g. ``openmail:60``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.burstiness import burstiness_summary
+from .analysis.reporting import ascii_series, format_table
+from .core.capacity import CapacityPlanner
+from .core.workload import Workload
+from .shaping import run_policy
+from .sched.registry import ALL_POLICIES
+from .traces import library, spc
+from .units import ms, to_ms
+
+
+def _load(spec: str) -> Workload:
+    """Load ``name[:duration]`` from the library, or an SPC file path."""
+    name, _, duration = spec.partition(":")
+    if name.lower() in library.WORKLOADS:
+        return library.load(
+            name, duration=float(duration) if duration else library.DEFAULT_DURATION
+        )
+    return spc.read_workload(spec, name=spec)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    workload = _load(args.trace)
+    summary = burstiness_summary(workload)
+    rows = [[k, f"{v:.3g}" if isinstance(v, float) else v] for k, v in summary.items()]
+    print(format_table(["metric", "value"], rows, title=f"{workload.name}"))
+    starts, rates = workload.rate_series(args.bin)
+    print()
+    print(ascii_series(rates, label=f"arrival rate, {args.bin * 1000:g} ms bins"))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    workload = _load(args.trace)
+    planner = CapacityPlanner(workload, ms(args.delta_ms))
+    fractions = sorted(set(args.fractions + [1.0]), reverse=False)
+    curve = planner.capacity_curve(fractions)
+    rows = [[f"{f:.1%}", int(curve[f])] for f in fractions]
+    print(
+        format_table(
+            ["fraction", "Cmin (IOPS)"],
+            rows,
+            title=(
+                f"{workload.name}: capacity to meet {args.delta_ms:g} ms "
+                f"(mean rate {workload.mean_rate:.0f} IOPS)"
+            ),
+        )
+    )
+    target = min(args.fractions)
+    saving = 1.0 - curve[target] / curve[1.0]
+    print(
+        f"\nguaranteeing {target:.0%} instead of 100% frees "
+        f"{saving:.0%} of the worst-case capacity "
+        f"(provision Cmin + delta_C = {curve[target] + 1 / ms(args.delta_ms):.0f} IOPS)"
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    workload = _load(args.trace)
+    delta = ms(args.delta_ms)
+    planner = CapacityPlanner(workload, delta)
+    cmin = args.cmin or planner.min_capacity(args.fraction)
+    delta_c = args.delta_c if args.delta_c is not None else 1.0 / delta
+    result = run_policy(workload, args.policy, cmin, delta_c, delta)
+    print(
+        f"{workload.name} under {args.policy} at {cmin:.0f}+{delta_c:.0f} IOPS "
+        f"(target {args.fraction:.0%} within {args.delta_ms:g} ms):"
+    )
+    rows = [
+        ["requests", len(result.overall)],
+        [f"<= {args.delta_ms:g} ms", f"{result.fraction_within():.2%}"],
+        ["mean response", f"{result.overall.stats.mean * 1000:.1f} ms"],
+        ["p99 response", f"{result.overall.percentile(99) * 1000:.1f} ms"],
+        ["max response", f"{result.overall.stats.max * 1000:.1f} ms"],
+        ["guaranteed-class misses", result.primary_misses],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.comparison import compare_policies
+    from .analysis.comparison import render as render_comparison
+    from .core.pricing import price_menu
+
+    workload = _load(args.trace)
+    delta = ms(args.delta_ms)
+    print(f"=== Provisioning report: {workload.name} ===\n")
+
+    summary = burstiness_summary(workload)
+    rows = [[k, f"{v:.3g}" if isinstance(v, float) else v]
+            for k, v in summary.items() if k != "name"]
+    rows.append(["interarrival CV", f"{workload.interarrival_cv():.2f}"])
+    print(format_table(["metric", "value"], rows, title="1. Burstiness profile"))
+
+    planner = CapacityPlanner(workload, delta)
+    fractions = [0.90, 0.95, 0.99, 0.999, 1.0]
+    curve = planner.capacity_curve(fractions)
+    rows = [[f"{f:.1%}", int(curve[f])] for f in fractions]
+    print()
+    print(format_table(
+        ["fraction", "Cmin (IOPS)"], rows,
+        title=f"2. Capacity knee at {args.delta_ms:g} ms "
+              f"(knee {curve[1.0] / curve[0.9]:.1f}x)",
+    ))
+
+    menu = price_menu(workload, delta, fractions=tuple(fractions))
+    rows = [[f"{t.fraction:.1%}", int(t.reserved_iops), f"{t.discount:.0%}"]
+            for t in menu]
+    print()
+    print(format_table(
+        ["guarantee", "reserved IOPS", "discount vs 100%"], rows,
+        title="3. Price menu (capacity-proportional)",
+    ))
+
+    comparison = compare_policies(
+        workload, delta, fraction=args.fraction,
+        policies=("fcfs", "split", "fairqueue", "miser"),
+    )
+    print()
+    print("4. " + render_comparison(comparison))
+    print(f"\nbest policy at the deadline: {comparison.winner()}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    workload = library.load(args.workload, duration=args.duration, seed=args.seed)
+    records = spc.workload_to_records(workload)
+    n = spc.write_records(records, args.output)
+    print(
+        f"wrote {n} records ({workload.mean_rate:.0f} IOPS mean over "
+        f"{to_ms(workload.duration) / 1000:.0f} s) to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Workload shaping for graduated storage QoS."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="characterize a trace")
+    analyze.add_argument("trace", help="SPC file or library name[:duration]")
+    analyze.add_argument("--bin", type=float, default=0.1, help="rate bin (s)")
+    analyze.set_defaults(func=cmd_analyze)
+
+    plan = sub.add_parser("plan", help="capacity planning for a QoS target")
+    plan.add_argument("trace")
+    plan.add_argument("--delta-ms", type=float, default=10.0)
+    plan.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=[0.9, 0.95, 0.99, 0.999],
+    )
+    plan.set_defaults(func=cmd_plan)
+
+    simulate = sub.add_parser("simulate", help="serve a trace under a policy")
+    simulate.add_argument("trace")
+    simulate.add_argument("--policy", choices=ALL_POLICIES, default="miser")
+    simulate.add_argument("--delta-ms", type=float, default=10.0)
+    simulate.add_argument("--fraction", type=float, default=0.9)
+    simulate.add_argument("--cmin", type=float, default=None,
+                          help="override the planned Cmin (IOPS)")
+    simulate.add_argument("--delta-c", type=float, default=None,
+                          help="override the surplus capacity (IOPS)")
+    simulate.set_defaults(func=cmd_simulate)
+
+    generate = sub.add_parser("generate", help="synthesize a trace to SPC")
+    generate.add_argument("workload", choices=sorted(library.WORKLOADS))
+    generate.add_argument("output")
+    generate.add_argument("--duration", type=float, default=60.0)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.set_defaults(func=cmd_generate)
+
+    report = sub.add_parser(
+        "report", help="full provisioning report for one trace"
+    )
+    report.add_argument("trace")
+    report.add_argument("--delta-ms", type=float, default=10.0)
+    report.add_argument("--fraction", type=float, default=0.9)
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,285 @@
+"""Gnuplot export: data files and scripts for the paper's figures.
+
+The original evaluation was plotted with gnuplot; this module emits the
+same artifacts — whitespace-separated ``.dat`` files plus a ``.gp``
+script per figure — so anyone with gnuplot can regenerate publication
+plots from a run of the experiment harness:
+
+```
+from repro.experiments import figure4
+from repro.analysis.gnuplot import export_figure4
+
+result = figure4.run()
+export_figure4(result, "out/figure4")   # out/figure4.gp + .dat files
+```
+
+Only the standard library is used; nothing here imports gnuplot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from ..exceptions import ConfigurationError
+
+
+def write_dat(
+    path: str | Path,
+    columns: dict,
+    comment: str = "",
+) -> Path:
+    """Write aligned columns to a gnuplot ``.dat`` file.
+
+    ``columns`` maps header name to a sequence; all sequences must have
+    equal length.
+    """
+    path = Path(path)
+    names = list(columns)
+    if not names:
+        raise ConfigurationError("need at least one column")
+    series = [list(columns[n]) for n in names]
+    lengths = {len(s) for s in series}
+    if len(lengths) != 1:
+        raise ConfigurationError(f"column lengths differ: {lengths}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="ascii") as handle:
+        if comment:
+            handle.write(f"# {comment}\n")
+        handle.write("# " + " ".join(names) + "\n")
+        for row in zip(*series):
+            handle.write(" ".join(_fmt(v) for v in row) + "\n")
+    return path
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _script(path: Path, lines: Iterable[str]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path
+
+
+def export_figure2(result, prefix: str | Path) -> list[Path]:
+    """Rate-series panels of Figure 2 (original / Q1 / recombined)."""
+    prefix = Path(prefix)
+    paths = []
+    panels = {
+        "original": result.original,
+        "primary": result.primary,
+        "recombined": result.recombined,
+    }
+    for name, (starts, rates) in panels.items():
+        paths.append(
+            write_dat(
+                prefix.with_name(prefix.name + f"_{name}.dat"),
+                {"time_s": starts, "iops": rates},
+                comment=f"Figure 2 {name} rate series ({result.workload_name})",
+            )
+        )
+    script = _script(
+        prefix.with_suffix(".gp"),
+        [
+            'set terminal pngcairo size 1200,400',
+            f'set output "{prefix.name}.png"',
+            "set multiplot layout 1,3",
+            'set xlabel "Time (s)"',
+            'set ylabel "Request Rate (IOPS)"',
+            *[
+                f'plot "{prefix.name}_{name}.dat" using 1:2 with impulses '
+                f'title "{name}"'
+                for name in panels
+            ],
+            "unset multiplot",
+        ],
+    )
+    return paths + [script]
+
+
+def export_figure4(result, prefix: str | Path) -> list[Path]:
+    """CDF panels of Figure 4 (one .dat per workload/deadline cell)."""
+    prefix = Path(prefix)
+    paths = []
+    plot_clauses = []
+    for cell in result.cells:
+        xs, ys = cell.cdf
+        stem = f"{prefix.name}_{cell.workload_name}_{int(cell.delta * 1000)}ms"
+        paths.append(
+            write_dat(
+                prefix.with_name(stem + ".dat"),
+                {"response_ms": [x * 1000 for x in xs], "fraction": ys},
+                comment=(
+                    f"FCFS CDF, {cell.workload_name}, C={cell.capacity:.0f} "
+                    f"IOPS, delta={cell.delta * 1000:g} ms"
+                ),
+            )
+        )
+        plot_clauses.append(
+            f'"{stem}.dat" using 1:2 with lines title '
+            f'"{cell.workload_name} {cell.delta * 1000:g}ms"'
+        )
+    script = _script(
+        prefix.with_suffix(".gp"),
+        [
+            "set terminal pngcairo size 800,600",
+            f'set output "{prefix.name}.png"',
+            "set logscale x",
+            'set xlabel "Response Time (ms)"',
+            'set ylabel "Fraction"',
+            "set key bottom right",
+            "plot \\",
+            ", \\\n".join("  " + clause for clause in plot_clauses),
+        ],
+    )
+    return paths + [script]
+
+
+def export_figure6(result, prefix: str | Path) -> list[Path]:
+    """Grouped-bar data for Figure 6's response-time histograms."""
+    prefix = Path(prefix)
+    paths = []
+    for panel in result.panels:
+        policies = list(panel.runs)
+        edges = list(panel.bins(policies[0]))
+        columns = {"bin": edges}
+        for policy in policies:
+            columns[policy] = list(panel.bins(policy).values())
+        stem = f"{prefix.name}_f{int(panel.fraction * 100)}"
+        paths.append(
+            write_dat(
+                prefix.with_name(stem + ".dat"),
+                columns,
+                comment=(
+                    f"Figure 6, target ({panel.fraction:.0%}, "
+                    f"{panel.delta * 1000:g} ms), {panel.workload_name}"
+                ),
+            )
+        )
+    script = _script(
+        prefix.with_suffix(".gp"),
+        [
+            "set terminal pngcairo size 1000,500",
+            f'set output "{prefix.name}.png"',
+            "set style data histogram",
+            "set style histogram clustered",
+            "set style fill solid 0.8",
+            'set ylabel "Fraction"',
+            f'plot for [i=2:5] "{prefix.name}_f90.dat" using i:xtic(1) '
+            "title columnheader(i)",
+        ],
+    )
+    return paths + [script]
+
+
+def export_figure7(result, prefix: str | Path) -> list[Path]:
+    """Estimate-vs-shifted-actual bars for the consolidation figure."""
+    prefix = Path(prefix)
+    fractions = sorted({c.fraction for c in result.cells}, reverse=True)
+    paths = []
+    for fraction in fractions:
+        cells = [c for c in result.cells if c.fraction == fraction]
+        shifts = sorted(cells[0].actual_by_shift) if cells else []
+        columns = {
+            "pair": [c.workload_name for c in cells],
+            "estimate": [c.estimate for c in cells],
+        }
+        for shift in shifts:
+            columns[f"shift{shift:g}s"] = [
+                c.actual_by_shift[shift] for c in cells
+            ]
+        stem = f"{prefix.name}_f{int(fraction * 100)}"
+        paths.append(
+            write_dat(
+                prefix.with_name(stem + ".dat"),
+                columns,
+                comment=f"Figure 7, f={fraction:.0%}",
+            )
+        )
+    script = _script(
+        prefix.with_suffix(".gp"),
+        [
+            "set terminal pngcairo size 1000,400",
+            f'set output "{prefix.name}.png"',
+            "set style data histogram",
+            "set style fill solid 0.8",
+            'set ylabel "Capacity (IOPS)"',
+            f'plot for [i=2:4] "{prefix.name}_f100.dat" using i:xtic(1) '
+            "title columnheader(i)",
+        ],
+    )
+    return paths + [script]
+
+
+def export_figure8(result, prefix: str | Path) -> list[Path]:
+    """Estimate-vs-real bars for the cross-workload consolidation figure."""
+    prefix = Path(prefix)
+    fractions = sorted({f for _, f in result.results}, reverse=True)
+    pairs = []
+    for pair, _ in result.results:
+        if pair not in pairs:
+            pairs.append(pair)
+    paths = []
+    for fraction in fractions:
+        rows = [result.results[(pair, fraction)] for pair in pairs]
+        columns = {
+            "pair": ["+".join(r.client_names) for r in rows],
+            "estimate": [r.estimate for r in rows],
+            "real": [r.actual for r in rows],
+        }
+        stem = f"{prefix.name}_f{int(fraction * 100)}"
+        paths.append(
+            write_dat(
+                prefix.with_name(stem + ".dat"),
+                columns,
+                comment=f"Figure 8, f={fraction:.0%}",
+            )
+        )
+    script = _script(
+        prefix.with_suffix(".gp"),
+        [
+            "set terminal pngcairo size 1000,400",
+            f'set output "{prefix.name}.png"',
+            "set style data histogram",
+            "set style fill solid 0.8",
+            'set ylabel "Capacity (IOPS)"',
+            f'plot for [i=2:3] "{prefix.name}_f100.dat" using i:xtic(1) '
+            "title columnheader(i)",
+        ],
+    )
+    return paths + [script]
+
+
+def export_table1(result, prefix: str | Path) -> list[Path]:
+    """Capacity-vs-fraction curves, one .dat per (workload, delta)."""
+    prefix = Path(prefix)
+    paths = []
+    for name, delta, row in result.rows():
+        fractions = sorted(row)
+        stem = f"{prefix.name}_{name}_{int(delta * 1000)}ms"
+        paths.append(
+            write_dat(
+                prefix.with_name(stem + ".dat"),
+                {
+                    "fraction": fractions,
+                    "cmin_iops": [row[f] for f in fractions],
+                },
+                comment=f"Cmin vs fraction, {name}, delta={delta * 1000:g} ms",
+            )
+        )
+    script = _script(
+        prefix.with_suffix(".gp"),
+        [
+            "set terminal pngcairo size 800,600",
+            f'set output "{prefix.name}.png"',
+            'set xlabel "Guaranteed fraction"',
+            'set ylabel "Cmin (IOPS)"',
+            "set key top left",
+            f'plot "{prefix.name}_*.dat" using 1:2 with linespoints',
+        ],
+    )
+    return paths + [script]

@@ -1,0 +1,118 @@
+"""Multiplexing analysis: consolidation studies over client sets.
+
+Builds on :mod:`repro.core.consolidation` to answer the provider-side
+questions of Section 4.4 at fleet scale:
+
+* a pairwise estimate-accuracy matrix over a set of clients,
+* the multiplexing gain of a whole mix (how much capacity sharing saves
+  versus dedicated servers), and
+* a packing study: how many copies of a client mix fit a server under
+  worst-case versus decomposed sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.capacity import CapacityPlanner
+from ..core.consolidation import ConsolidationResult, consolidate
+from ..core.workload import Workload
+from ..exceptions import ConfigurationError
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class MultiplexingStudy:
+    """All-pairs and whole-mix consolidation numbers for one client set."""
+
+    delta: float
+    fraction: float
+    names: tuple
+    individual: dict  # name -> Cmin
+    pairwise: dict  # (name_a, name_b) -> ConsolidationResult
+    whole_mix: ConsolidationResult
+
+    @property
+    def dedicated_total(self) -> float:
+        """Capacity if every client gets its own server."""
+        return float(sum(self.individual.values()))
+
+    @property
+    def multiplexing_gain(self) -> float:
+        """Capacity saved by sharing one server: ``1 - actual/dedicated``."""
+        if self.dedicated_total == 0:
+            return 0.0
+        return 1.0 - self.whole_mix.actual / self.dedicated_total
+
+    def worst_pair_error(self) -> float:
+        return max(r.relative_error for r in self.pairwise.values())
+
+
+def study(
+    workloads: list[Workload], delta: float, fraction: float = 0.9
+) -> MultiplexingStudy:
+    """Run the full consolidation study over ``workloads``."""
+    if len(workloads) < 2:
+        raise ConfigurationError("a multiplexing study needs >= 2 workloads")
+    individual = {
+        w.name: CapacityPlanner(w, delta).min_capacity(fraction) for w in workloads
+    }
+    pairwise = {}
+    for i, a in enumerate(workloads):
+        for b in workloads[i + 1 :]:
+            pairwise[(a.name, b.name)] = consolidate([a, b], delta, fraction)
+    whole = consolidate(workloads, delta, fraction)
+    return MultiplexingStudy(
+        delta=delta,
+        fraction=fraction,
+        names=tuple(w.name for w in workloads),
+        individual=individual,
+        pairwise=pairwise,
+        whole_mix=whole,
+    )
+
+
+def render(result: MultiplexingStudy) -> str:
+    """Text report of a multiplexing study."""
+    rows = [
+        [" + ".join(pair), int(r.estimate), int(r.actual), f"{r.relative_error:.1%}"]
+        for pair, r in result.pairwise.items()
+    ]
+    table = format_table(
+        ["pair", "estimate", "actual", "error"],
+        rows,
+        title=(
+            f"Pairwise consolidation at f={result.fraction:.0%}, "
+            f"delta={result.delta * 1000:g} ms"
+        ),
+    )
+    whole = result.whole_mix
+    summary = (
+        f"\nwhole mix ({len(result.names)} clients): estimate "
+        f"{whole.estimate:.0f}, actual {whole.actual:.0f} IOPS "
+        f"({whole.relative_error:.1%} error); multiplexing gain vs "
+        f"dedicated servers: {result.multiplexing_gain:.1%}"
+    )
+    return table + summary
+
+
+def packing_count(
+    client: Workload,
+    server_capacity: float,
+    delta: float,
+    fraction: float = 0.9,
+    worst_case: bool = False,
+) -> int:
+    """How many copies of ``client`` fit a server under additive sizing.
+
+    ``worst_case=True`` sizes each copy at f = 100% (the policy the paper
+    argues against); otherwise at ``fraction``.
+    """
+    if server_capacity <= 0:
+        raise ConfigurationError("server capacity must be positive")
+    per_client = CapacityPlanner(client, delta).min_capacity(
+        1.0 if worst_case else fraction
+    )
+    if per_client <= 0:
+        return 0
+    return int(server_capacity // per_client)

@@ -1,0 +1,114 @@
+"""Plain-text rendering of tables and figures.
+
+The original paper renders its evaluation as gnuplot figures; this
+reproduction renders the same data as aligned text tables and ASCII
+charts, so every experiment's output is readable in a terminal and
+diffable in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Align ``rows`` under ``headers`` with a separator rule."""
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value)}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Downsample a series into an ASCII column chart (Figure 2 style)."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        return f"{label}(empty)"
+    if data.size > width:
+        # Max-pool so bursts stay visible after downsampling.
+        n_per = int(np.ceil(data.size / width))
+        pad = n_per * width - data.size
+        padded = np.concatenate([data, np.zeros(pad)])
+        data = padded.reshape(width, n_per).max(axis=1)
+    top = float(data.max())
+    if top <= 0:
+        top = 1.0
+    lines = []
+    if label:
+        lines.append(f"{label} (peak={top:.0f})")
+    levels = np.ceil(data / top * height).astype(int)
+    for row in range(height, 0, -1):
+        lines.append("".join("#" if lvl >= row else " " for lvl in levels))
+    lines.append("-" * data.size)
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    marks: Sequence[float] = (),
+    width: int = 64,
+) -> str:
+    """Render a CDF as rows of ``fraction : bar`` at log-spaced points."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size == 0:
+        return "(empty cdf)"
+    grid = np.unique(
+        np.concatenate(
+            [np.logspace(np.log10(max(xs.min(), 1e-4)), np.log10(xs.max()), 12), marks]
+        )
+    )
+    lines = []
+    for g in grid:
+        frac = float(ys[np.searchsorted(xs, g, side="right") - 1]) if g >= xs[0] else 0.0
+        bar = "#" * int(round(frac * width))
+        flag = " <== target" if any(abs(g - m) < 1e-12 for m in marks) else ""
+        lines.append(f"{g * 1000:9.1f} ms |{bar:<{width}}| {frac:6.1%}{flag}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (Figures 6-8 style)."""
+    if not labels:
+        return "(no bars)"
+    top = max(max(values), 1e-12)
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / top * width))
+        lines.append(f"{str(label):<{label_width}} |{bar:<{width}}| {value:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Capacity provisioning (Section 2.2): binary search for ``Cmin``.
+
+Given a response-time bound ``delta`` and a target fraction ``f``, the
+planner finds the minimum server capacity ``Cmin`` such that RTT admits at
+least a fraction ``f`` of the workload into the guaranteed class, then
+provisions ``Cmin + delta_C`` with the paper's ``delta_C = 1 / delta``
+surplus to keep the overflow class from starving.
+
+The search is the paper's deterministic bisection: evaluate the admitted
+fraction at a candidate capacity (one O(N) RTT pass), halve the bracket,
+repeat — ``O(log C)`` RTT passes in total.  Evaluations are memoized so
+that planning several fractions over the same workload shares work.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from dataclasses import dataclass, field
+
+from ..exceptions import CapacityError, ConfigurationError
+from .rtt import count_admitted
+from .workload import Workload
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """A provisioning decision for one client workload.
+
+    Attributes
+    ----------
+    workload_name:
+        Label of the planned workload.
+    delta:
+        Response-time bound (seconds) of the guaranteed class.
+    fraction:
+        Target fraction of requests guaranteed ``delta``.
+    cmin:
+        Minimum capacity (IOPS) at which RTT admits ``fraction``.
+    delta_c:
+        Surplus capacity (IOPS) reserved for the overflow class.
+    achieved_fraction:
+        Fraction RTT actually admits at ``cmin`` (>= ``fraction``).
+    """
+
+    workload_name: str
+    delta: float
+    fraction: float
+    cmin: float
+    delta_c: float
+    achieved_fraction: float
+
+    @property
+    def total_capacity(self) -> float:
+        """Provisioned capacity ``Cmin + delta_C``."""
+        return self.cmin + self.delta_c
+
+
+@dataclass
+class CapacityPlanner:
+    """Binary-search capacity planner for a single workload and deadline.
+
+    Parameters
+    ----------
+    workload:
+        The client workload to plan for.
+    delta:
+        Response-time bound (seconds) of the guaranteed class.
+    integral:
+        When ``True`` (default) capacities are whole IOPS, matching the
+        paper's tables; otherwise the search bisects reals down to
+        ``tolerance``.
+    tolerance:
+        Bracket width at which a real-valued search stops.
+    """
+
+    workload: Workload
+    delta: float
+    integral: bool = True
+    tolerance: float = 0.25
+    _instants: list = field(init=False, repr=False)
+    _counts: list = field(init=False, repr=False)
+    _cache: dict = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        instants, counts = self.workload.arrival_counts()
+        self._instants = instants.tolist()
+        self._counts = counts.tolist()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.workload)
+
+    def admitted_at(self, capacity: float) -> int:
+        """Requests RTT admits at ``capacity`` (memoized)."""
+        if capacity <= 0:
+            return 0
+        cached = self._cache.get(capacity)
+        if cached is None:
+            cached = count_admitted(self._instants, self._counts, capacity, self.delta)
+            self._cache[capacity] = cached
+        return cached
+
+    def fraction_at(self, capacity: float) -> float:
+        """Fraction of the workload RTT admits at ``capacity``."""
+        if self.n_requests == 0:
+            return 1.0
+        return self.admitted_at(capacity) / self.n_requests
+
+    # ------------------------------------------------------------------
+
+    def min_capacity(self, fraction: float) -> float:
+        """Minimum capacity admitting at least ``fraction`` of requests.
+
+        Raises
+        ------
+        CapacityError
+            If no capacity below an astronomically large cap suffices
+            (cannot happen for finite workloads and ``fraction <= 1``).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        if self.n_requests == 0:
+            return 1.0 if self.integral else self.tolerance
+        required = self._required_count(fraction)
+
+        # Exponentially grow the upper bracket until it admits enough.
+        lo, hi = 0.0, max(1.0, self.workload.mean_rate)
+        for _ in range(80):
+            if self.admitted_at(hi) >= required:
+                break
+            lo, hi = hi, hi * 2.0
+        else:  # pragma: no cover - defensive
+            raise CapacityError(
+                f"no feasible capacity below {hi:g} IOPS for fraction {fraction}"
+            )
+
+        if self.integral:
+            lo_i, hi_i = int(math.floor(lo)), int(math.ceil(hi))
+            while lo_i + 1 < hi_i:
+                mid = (lo_i + hi_i) // 2
+                if self.admitted_at(float(mid)) >= required:
+                    hi_i = mid
+                else:
+                    lo_i = mid
+            logger.debug(
+                "min_capacity(%s, f=%.4f) = %d IOPS (%d RTT evaluations)",
+                self.workload.name, fraction, hi_i, len(self._cache),
+            )
+            return float(hi_i)
+
+        while hi - lo > self.tolerance:
+            mid = (lo + hi) / 2.0
+            if self.admitted_at(mid) >= required:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def _required_count(self, fraction: float) -> int:
+        """Admission count needed to certify ``fraction`` (exact at f=1)."""
+        if fraction >= 1.0:
+            return self.n_requests
+        return math.ceil(fraction * self.n_requests - 1e-9)
+
+    # ------------------------------------------------------------------
+
+    def plan(self, fraction: float, delta_c: float | None = None) -> CapacityPlan:
+        """Full provisioning decision: ``Cmin`` plus the ``delta_C`` surplus.
+
+        ``delta_c`` defaults to the paper's ``1 / delta``.
+        """
+        cmin = self.min_capacity(fraction)
+        if delta_c is None:
+            delta_c = 1.0 / self.delta
+        return CapacityPlan(
+            workload_name=self.workload.name,
+            delta=self.delta,
+            fraction=fraction,
+            cmin=cmin,
+            delta_c=delta_c,
+            achieved_fraction=self.fraction_at(cmin),
+        )
+
+    def capacity_curve(self, fractions: list[float]) -> dict[float, float]:
+        """``Cmin`` for each fraction, sharing cached RTT evaluations.
+
+        Fractions are planned in decreasing order so that the upper
+        bracket found for the strictest target seeds the laxer ones.
+        """
+        result = {f: self.min_capacity(f) for f in sorted(fractions, reverse=True)}
+        return {f: result[f] for f in fractions}
+
+
+def min_capacity(
+    workload: Workload,
+    delta: float,
+    fraction: float = 1.0,
+    integral: bool = True,
+) -> float:
+    """One-shot convenience wrapper around :class:`CapacityPlanner`."""
+    return CapacityPlanner(workload, delta, integral=integral).min_capacity(fraction)

@@ -1,0 +1,127 @@
+"""Arrival / service curve machinery (Section 2.1 of the paper).
+
+The paper reasons about three curves:
+
+* the **Cumulative Arrival Curve** ``A(t)`` — total requests arrived in
+  ``[0, t]`` (a right-continuous staircase),
+* the **Service Curve** ``S(t) = C * t`` — the most service a rate-``C``
+  server can have delivered by ``t`` when continuously busy from 0,
+* the **Service Curve Limit** ``SCL(t) = S(t + delta) = C * (t + delta)``
+  — an upper bound on the arrivals by ``t`` that can all meet a response
+  time of ``delta``.
+
+Whenever ``A(t)`` pokes above the SCL the system is overloaded and some
+requests must miss their deadline; the decomposition algorithm (RTT,
+:mod:`repro.core.rtt`) drops exactly enough requests to pin the arrival
+curve back under the SCL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .workload import Workload
+
+
+class ArrivalCurve:
+    """Right-continuous cumulative arrival curve of a workload.
+
+    ``A(t)`` is the number of requests with arrival instant ``<= t``.
+    """
+
+    def __init__(self, workload: Workload):
+        instants, counts = workload.arrival_counts()
+        self._instants = instants
+        self._cumulative = np.cumsum(counts)
+        self.workload = workload
+
+    @property
+    def instants(self) -> np.ndarray:
+        """Distinct arrival instants ``a_i`` (sorted)."""
+        return self._instants
+
+    @property
+    def cumulative(self) -> np.ndarray:
+        """``A(a_i)`` evaluated at each distinct arrival instant."""
+        return self._cumulative
+
+    def __call__(self, t: float | np.ndarray) -> np.ndarray | int:
+        """Evaluate ``A(t)`` at scalar or vector ``t``."""
+        idx = np.searchsorted(self._instants, t, side="right")
+        values = np.concatenate(([0], self._cumulative))
+        result = values[idx]
+        if np.isscalar(t):
+            return int(result)
+        return result
+
+    @property
+    def total(self) -> int:
+        """Total number of requests."""
+        return int(self._cumulative[-1]) if self._cumulative.size else 0
+
+
+class ServiceCurve:
+    """Service curve of a constant-rate server busy from time 0."""
+
+    def __init__(self, capacity: float):
+        if capacity <= 0:
+            raise WorkloadError(f"capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Maximum service completable by time ``t``: ``C * t`` (clamped at 0)."""
+        return np.maximum(0.0, np.asarray(t, dtype=float)) * self.capacity
+
+    def limit(self, t: float | np.ndarray, delta: float) -> float | np.ndarray:
+        """The Service Curve Limit ``SCL(t) = S(t + delta)``."""
+        if delta < 0:
+            raise WorkloadError(f"delta must be non-negative, got {delta}")
+        return self(np.asarray(t, dtype=float) + delta)
+
+
+def scl_excess(workload: Workload, capacity: float, delta: float) -> np.ndarray:
+    """``A(a_k) - SCL(a_k)`` at every distinct arrival instant.
+
+    Positive entries mark the overload instants of Figure 3(a): points
+    where the raw arrival curve exceeds the service curve limit, assuming
+    the server is continuously busy from time 0.  (For workloads with idle
+    periods this is a *lower-bound witness*, exact within the first busy
+    period; :mod:`repro.core.bounds` handles the general case.)
+
+    Returns
+    -------
+    numpy array aligned with ``ArrivalCurve(workload).instants``.
+    """
+    curve = ArrivalCurve(workload)
+    service = ServiceCurve(capacity)
+    return curve.cumulative - service.limit(curve.instants, delta)
+
+
+def busy_periods(workload: Workload, capacity: float) -> list[tuple[float, float]]:
+    """Busy periods ``[start, end)`` of a rate-``C`` server serving everything.
+
+    The server works at rate ``C`` whenever at least one request is
+    pending (fluid service).  Returned intervals are maximal.
+    """
+    service = ServiceCurve(capacity)
+    if capacity <= 0:
+        raise WorkloadError(f"capacity must be positive, got {capacity}")
+    del service  # validation only
+    periods: list[tuple[float, float]] = []
+    backlog_end = None  # time the current busy period drains
+    start = None
+    for t in workload.arrivals:
+        t = float(t)
+        # An arrival landing exactly at the drain instant keeps the
+        # server continuously busy: same busy period.
+        if backlog_end is None or t > backlog_end + 1e-12:
+            if backlog_end is not None:
+                periods.append((start, backlog_end))
+            start = t
+            backlog_end = t + 1.0 / capacity
+        else:
+            backlog_end += 1.0 / capacity
+    if backlog_end is not None:
+        periods.append((start, backlog_end))
+    return periods

@@ -1,0 +1,108 @@
+"""SLA pricing: turning capacity savings into price menus.
+
+The paper's introduction motivates graduated QoS economically: "the
+server can pass on these savings by providing a variety of SLAs and
+pricing options to the client.  Storage service subscribers that have
+highly streamlined request behavior ... can be offered service on
+concessional terms as reward for their well-behavedness."
+
+This module prices a client's SLA by the capacity it forces the provider
+to reserve:
+
+* :func:`reserve_cost` — the provisioned IOPS behind one (fraction,
+  deadline) target for a given workload;
+* :func:`price_menu` — a menu of graduated SLAs for one workload, priced
+  relative to the worst-case (100%) guarantee;
+* :func:`burstiness_discount` — the "well-behavedness reward": how much
+  cheaper a client's target is than it would be for a reference bursty
+  profile of the same mean rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .capacity import CapacityPlanner
+from .workload import Workload
+
+
+@dataclass(frozen=True)
+class PricedTier:
+    """One row of a price menu."""
+
+    fraction: float
+    delta: float
+    reserved_iops: float
+    #: Cost relative to the 100%-guarantee tier at the same deadline.
+    relative_cost: float
+
+    @property
+    def discount(self) -> float:
+        """Saving versus the worst-case tier (0.6 = 60% cheaper)."""
+        return 1.0 - self.relative_cost
+
+
+def reserve_cost(
+    workload: Workload, fraction: float, delta: float, delta_c: float | None = None
+) -> float:
+    """Capacity (IOPS) the provider reserves for this target.
+
+    ``Cmin(fraction, delta) + delta_C`` with the paper's default
+    ``delta_C = 1/delta``.
+    """
+    planner = CapacityPlanner(workload, delta)
+    surplus = delta_c if delta_c is not None else 1.0 / delta
+    return planner.min_capacity(fraction) + surplus
+
+
+def price_menu(
+    workload: Workload,
+    delta: float,
+    fractions: tuple = (0.90, 0.95, 0.99, 0.999, 1.0),
+) -> list[PricedTier]:
+    """Price each guarantee level by its reserved capacity.
+
+    The 100% tier anchors the menu at relative cost 1.0; lower tiers cost
+    proportionally less because they reserve less capacity.
+    """
+    if 1.0 not in fractions:
+        fractions = tuple(fractions) + (1.0,)
+    planner = CapacityPlanner(workload, delta)
+    curve = planner.capacity_curve(sorted(fractions))
+    surplus = 1.0 / delta
+    anchor = curve[1.0] + surplus
+    if anchor <= 0:
+        raise ConfigurationError("degenerate workload: zero anchor capacity")
+    return [
+        PricedTier(
+            fraction=f,
+            delta=delta,
+            reserved_iops=curve[f] + surplus,
+            relative_cost=(curve[f] + surplus) / anchor,
+        )
+        for f in sorted(fractions)
+    ]
+
+
+def burstiness_discount(
+    workload: Workload,
+    reference: Workload,
+    fraction: float,
+    delta: float,
+) -> float:
+    """The well-behavedness reward, in fractional saving.
+
+    Compares the client's reserved capacity against a *reference* profile
+    scaled to the same mean rate (e.g. the provider's standard bursty
+    profile).  Positive values mean the client is cheaper to host than
+    the reference; a perfectly paced client gets the largest discount.
+    """
+    if workload.mean_rate <= 0 or reference.mean_rate <= 0:
+        raise ConfigurationError("both workloads need a positive mean rate")
+    scaled_reference = reference.scale_rate(
+        workload.mean_rate / reference.mean_rate
+    )
+    client_cost = reserve_cost(workload, fraction, delta)
+    reference_cost = reserve_cost(scaled_reference, fraction, delta)
+    return 1.0 - client_cost / reference_cost

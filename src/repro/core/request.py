@@ -1,0 +1,137 @@
+"""Request objects flowing through the shaping framework.
+
+The paper's model is request-granular: the workload is a sequence of I/O
+requests with arrival instants; each request admitted to the primary class
+carries a deadline ``arrival + delta``.  :class:`Request` captures one such
+request together with the bookkeeping the schedulers and the statistics
+layer need (class assignment, dispatch/completion instants, slack).
+
+Storage-level attributes (LBA, size, opcode) are carried so that real SPC
+traces round-trip through the framework, but the shaping algorithms only
+ever look at ``arrival``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class IOKind(enum.Enum):
+    """I/O direction of a block request."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @classmethod
+    def parse(cls, token: str) -> "IOKind":
+        """Parse an opcode token as found in SPC traces (``r``/``w``...)."""
+        normalized = token.strip().upper()
+        if normalized.startswith("R"):
+            return cls.READ
+        if normalized.startswith("W"):
+            return cls.WRITE
+        raise ValueError(f"unrecognized I/O opcode: {token!r}")
+
+
+class QoSClass(enum.IntEnum):
+    """Class a request is assigned to by the decomposition step.
+
+    ``PRIMARY`` is the paper's ``Q1`` (guaranteed response time) and
+    ``OVERFLOW`` is ``Q2`` (best effort).  ``UNCLASSIFIED`` marks requests
+    that have not passed through a decomposer yet.
+    """
+
+    UNCLASSIFIED = 0
+    PRIMARY = 1
+    OVERFLOW = 2
+
+
+@dataclass
+class Request:
+    """A single I/O request.
+
+    Attributes
+    ----------
+    arrival:
+        Arrival instant in seconds.
+    index:
+        Position of the request in its workload's arrival order.  Unique
+        within a workload; assigned by :class:`repro.core.workload.Workload`.
+    size:
+        Transfer size in bytes (0 when unknown; shaping ignores it).
+    lba:
+        Logical block address (0 when unknown).
+    kind:
+        Read or write.
+    client_id:
+        Identifier of the owning client/flow in multi-client experiments.
+    qos_class:
+        Class assigned by decomposition.
+    deadline:
+        Absolute deadline (``arrival + delta``) once classified PRIMARY;
+        ``None`` otherwise.
+    dispatch:
+        Instant service started (set by the server), ``None`` before that.
+    completion:
+        Instant service finished, ``None`` before that.
+    """
+
+    arrival: float
+    index: int = 0
+    size: int = 0
+    lba: int = 0
+    kind: IOKind = IOKind.READ
+    client_id: int = 0
+    qos_class: QoSClass = field(default=QoSClass.UNCLASSIFIED)
+    deadline: float | None = None
+    dispatch: float | None = None
+    completion: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError(f"arrival must be non-negative, got {self.arrival}")
+
+    @property
+    def response_time(self) -> float:
+        """Completion minus arrival.
+
+        Raises
+        ------
+        ValueError
+            If the request has not completed yet.
+        """
+        if self.completion is None:
+            raise ValueError(f"request {self.index} has not completed")
+        return self.completion - self.arrival
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether the request completed by its deadline.
+
+        Requests without a deadline (unclassified or overflow) trivially
+        report ``True`` — they carry no guarantee to violate.
+        """
+        if self.deadline is None:
+            return True
+        if self.completion is None:
+            return False
+        return self.completion <= self.deadline + 1e-12
+
+    @property
+    def is_primary(self) -> bool:
+        return self.qos_class is QoSClass.PRIMARY
+
+    @property
+    def is_overflow(self) -> bool:
+        return self.qos_class is QoSClass.OVERFLOW
+
+    def classify(self, qos_class: QoSClass, delta: float | None = None) -> None:
+        """Assign a QoS class, setting the deadline for primary requests."""
+        self.qos_class = qos_class
+        if qos_class is QoSClass.PRIMARY:
+            if delta is None:
+                raise ValueError("primary classification requires delta")
+            self.deadline = self.arrival + delta
+        else:
+            self.deadline = None

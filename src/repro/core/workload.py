@@ -1,0 +1,266 @@
+"""Workload container: an arrival sequence plus analysis helpers.
+
+A workload in the paper is the sequence ``(a_i, n_i)`` of arrival instants
+and batch counts.  We store the flat, sorted array of per-request arrival
+times (a batch of ``n`` requests at instant ``a`` appears ``n`` times),
+which is both the most convenient form for simulation and the natural form
+of real block traces.
+
+The class is immutable by convention: transformation methods (:meth:`shift`,
+:meth:`merge`, :meth:`window`, ...) return new instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .request import IOKind, Request
+
+
+class Workload:
+    """A sorted sequence of request arrival instants (seconds).
+
+    Parameters
+    ----------
+    arrivals:
+        Per-request arrival times.  Must be non-negative and sorted
+        (ties allowed — they model the paper's batch arrivals ``n_i > 1``).
+    name:
+        Human-readable label used in reports.
+    metadata:
+        Optional free-form dictionary (trace provenance, generator
+        parameters, ...).  Shallow-copied on construction.
+    """
+
+    def __init__(
+        self,
+        arrivals: Sequence[float] | np.ndarray,
+        name: str = "workload",
+        metadata: dict | None = None,
+    ):
+        array = np.asarray(arrivals, dtype=np.float64)
+        if array.ndim != 1:
+            raise WorkloadError(f"arrivals must be 1-D, got shape {array.shape}")
+        if array.size and array[0] < 0:
+            raise WorkloadError(f"arrivals must be non-negative, first is {array[0]}")
+        if array.size > 1 and np.any(np.diff(array) < 0):
+            raise WorkloadError("arrivals must be sorted non-decreasing")
+        self._arrivals = array
+        self._arrivals.flags.writeable = False
+        self.name = name
+        self.metadata = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_counts(
+        cls,
+        instants: Sequence[float],
+        counts: Sequence[int],
+        name: str = "workload",
+        metadata: dict | None = None,
+    ) -> "Workload":
+        """Build from the paper's ``(a_i, n_i)`` representation."""
+        instants = np.asarray(instants, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if instants.shape != counts.shape:
+            raise WorkloadError(
+                f"instants and counts differ in shape: {instants.shape} vs {counts.shape}"
+            )
+        if counts.size and counts.min() < 0:
+            raise WorkloadError("counts must be non-negative")
+        arrivals = np.repeat(instants, counts)
+        return cls(arrivals, name=name, metadata=metadata)
+
+    @classmethod
+    def from_requests(
+        cls, requests: Iterable[Request], name: str = "workload"
+    ) -> "Workload":
+        """Build from an iterable of :class:`Request` (sorted by arrival)."""
+        return cls([r.arrival for r in requests], name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def arrivals(self) -> np.ndarray:
+        """The read-only array of per-request arrival times."""
+        return self._arrivals
+
+    def __len__(self) -> int:
+        return int(self._arrivals.size)
+
+    def __iter__(self):
+        return iter(self._arrivals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Workload(name={self.name!r}, n={len(self)}, "
+            f"duration={self.duration:.3f}s, mean_rate={self.mean_rate:.1f} IOPS)"
+        )
+
+    @property
+    def duration(self) -> float:
+        """Span from time 0 to the last arrival (seconds)."""
+        return float(self._arrivals[-1]) if len(self) else 0.0
+
+    @property
+    def mean_rate(self) -> float:
+        """Average arrival rate (IOPS) over the workload duration."""
+        if self.duration <= 0:
+            return 0.0
+        return len(self) / self.duration
+
+    def peak_rate(self, bin_width: float = 0.1) -> float:
+        """Maximum arrival rate (IOPS) over windows of ``bin_width`` seconds.
+
+        Matches the paper's presentation (Figure 2 uses 100 ms windows).
+        """
+        _, rates = self.rate_series(bin_width)
+        return float(rates.max()) if rates.size else 0.0
+
+    def peak_to_mean(self, bin_width: float = 0.1) -> float:
+        """Burstiness indicator: peak rate divided by mean rate."""
+        mean = self.mean_rate
+        return self.peak_rate(bin_width) / mean if mean > 0 else 0.0
+
+    def interarrivals(self) -> np.ndarray:
+        """Gaps between consecutive arrivals (length ``n - 1``)."""
+        if len(self) < 2:
+            return np.array([])
+        return np.diff(self._arrivals)
+
+    def interarrival_cv(self) -> float:
+        """Coefficient of variation of the inter-arrival times.
+
+        1.0 for Poisson, 0 for perfectly paced traffic, > 1 for bursty
+        streams — the simplest burstiness scalar.
+        """
+        gaps = self.interarrivals()
+        if gaps.size < 2:
+            return 0.0
+        mean = gaps.mean()
+        return float(gaps.std() / mean) if mean > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Representations
+    # ------------------------------------------------------------------
+
+    def arrival_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the paper's ``(a_i, n_i)``: unique instants and counts."""
+        return np.unique(self._arrivals, return_counts=True)
+
+    def rate_series(self, bin_width: float = 0.1) -> tuple[np.ndarray, np.ndarray]:
+        """Arrival rate time series.
+
+        Returns
+        -------
+        (bin_starts, rates):
+            ``bin_starts[i]`` is the left edge of bin ``i`` in seconds and
+            ``rates[i]`` the arrival rate in that bin, in IOPS.
+        """
+        if bin_width <= 0:
+            raise WorkloadError(f"bin_width must be positive, got {bin_width}")
+        if not len(self):
+            return np.array([]), np.array([])
+        n_bins = int(np.floor(self.duration / bin_width)) + 1
+        indices = np.minimum(
+            (self._arrivals / bin_width).astype(np.int64), n_bins - 1
+        )
+        counts = np.bincount(indices, minlength=n_bins)
+        starts = np.arange(n_bins) * bin_width
+        return starts, counts / bin_width
+
+    def to_requests(self, client_id: int = 0) -> list[Request]:
+        """Materialize one :class:`Request` per arrival, in order."""
+        return [
+            Request(arrival=float(t), index=i, client_id=client_id, kind=IOKind.READ)
+            for i, t in enumerate(self._arrivals)
+        ]
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new Workload instances)
+    # ------------------------------------------------------------------
+
+    def shift(self, offset: float, wrap: bool = False) -> "Workload":
+        """Shift all arrivals later by ``offset`` seconds.
+
+        With ``wrap=True`` the shift is circular over the workload duration,
+        matching the paper's "Shift-1s" / "Shift-100s" multiplexing
+        experiments: arrivals pushed past the end re-enter at the start, so
+        the workload keeps its duration and rate.
+        """
+        if offset < 0:
+            raise WorkloadError(f"offset must be non-negative, got {offset}")
+        if not len(self) or offset == 0:
+            return Workload(self._arrivals, name=self.name, metadata=self.metadata)
+        if not wrap:
+            return Workload(
+                self._arrivals + offset,
+                name=f"{self.name}+{offset:g}s",
+                metadata=self.metadata,
+            )
+        period = self.duration
+        if period <= 0:
+            return Workload(self._arrivals, name=self.name, metadata=self.metadata)
+        shifted = np.sort(np.mod(self._arrivals + offset, period))
+        return Workload(
+            shifted, name=f"{self.name}~{offset:g}s", metadata=self.metadata
+        )
+
+    def merge(self, *others: "Workload", name: str | None = None) -> "Workload":
+        """Superpose this workload with ``others`` (multiplexed stream)."""
+        parts = [self._arrivals] + [o._arrivals for o in others]
+        merged = np.sort(np.concatenate(parts))
+        label = name or "+".join([self.name] + [o.name for o in others])
+        return Workload(merged, name=label)
+
+    def window(self, start: float, end: float) -> "Workload":
+        """Restrict to arrivals in ``[start, end)``, re-based to time 0."""
+        if end < start:
+            raise WorkloadError(f"window end {end} before start {start}")
+        mask = (self._arrivals >= start) & (self._arrivals < end)
+        return Workload(
+            self._arrivals[mask] - start,
+            name=f"{self.name}[{start:g},{end:g})",
+            metadata=self.metadata,
+        )
+
+    def scale_rate(self, factor: float) -> "Workload":
+        """Speed the workload up (``factor > 1``) or slow it down.
+
+        Arrival instants are divided by ``factor`` so the mean rate is
+        multiplied by it; burst structure is preserved.
+        """
+        if factor <= 0:
+            raise WorkloadError(f"factor must be positive, got {factor}")
+        return Workload(
+            self._arrivals / factor,
+            name=f"{self.name}x{factor:g}",
+            metadata=self.metadata,
+        )
+
+    def head(self, n: int) -> "Workload":
+        """First ``n`` requests."""
+        return Workload(self._arrivals[:n], name=self.name, metadata=self.metadata)
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+
+    def describe(self, bin_width: float = 0.1) -> dict:
+        """Summary statistics dictionary (used by reports and examples)."""
+        return {
+            "name": self.name,
+            "requests": len(self),
+            "duration_s": self.duration,
+            "mean_rate_iops": self.mean_rate,
+            "peak_rate_iops": self.peak_rate(bin_width),
+            "peak_to_mean": self.peak_to_mean(bin_width),
+        }

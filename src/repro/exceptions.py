@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class WorkloadError(ReproError):
+    """A workload is malformed (unsorted arrivals, negative times, ...)."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file does not conform to its declared on-disk format."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class CapacityError(ReproError):
+    """Capacity planning failed (e.g. no feasible capacity in the bracket)."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler was misused (dispatch from empty queue, bad weights, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class AdmissionError(ReproError):
+    """Admission control rejected a client or was asked an impossible question."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration values (negative capacity, fraction > 1, ...)."""

@@ -1,0 +1,32 @@
+"""Reproduction experiments: one module per table/figure of the paper."""
+
+from . import extensions, sensitivity, verify, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
+from .common import (
+    FIGURE6_EDGES,
+    PAPER_DELTAS,
+    PAPER_FRACTIONS,
+    PAPER_WORKLOADS,
+    ExperimentConfig,
+)
+from .runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "extensions",
+    "sensitivity",
+    "verify",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "table1",
+    "FIGURE6_EDGES",
+    "PAPER_DELTAS",
+    "PAPER_FRACTIONS",
+    "PAPER_WORKLOADS",
+    "ExperimentConfig",
+    "EXPERIMENTS",
+    "run_experiment",
+]

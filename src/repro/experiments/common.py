@@ -1,0 +1,68 @@
+"""Shared configuration for the reproduction experiments.
+
+Every experiment module exposes ``run(config) -> result dataclass`` and
+``render(result) -> str``; this module provides the shared knobs and the
+paper's constants so that benchmarks, the CLI, and tests configure
+experiments the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.workload import Workload
+from ..traces.library import DEFAULT_DURATION, load
+from ..units import ms
+
+#: The paper's response-time bounds (Table 1).
+PAPER_DELTAS = (ms(5), ms(10), ms(20), ms(50))
+
+#: The paper's guaranteed-fraction columns (Table 1).
+PAPER_FRACTIONS = (0.90, 0.95, 0.99, 0.995, 0.999, 1.0)
+
+#: The workload order used throughout the evaluation section.
+PAPER_WORKLOADS = ("websearch", "fintrans", "openmail")
+
+#: Figure 6's response-time histogram edges (seconds).
+FIGURE6_EDGES = (ms(50), ms(100), ms(500), ms(1000))
+
+
+@dataclass
+class ExperimentConfig:
+    """Run-scale knobs shared by all experiments.
+
+    Parameters
+    ----------
+    duration:
+        Trace length in seconds.  300 s (default) reproduces the shapes
+        quoted in DESIGN.md; shorter values speed up tests.
+    seed_offset:
+        Added to each library workload's default seed — lets replication
+        studies draw independent trace instances.
+    overrides:
+        Optional mapping of workload name to a pre-built
+        :class:`~repro.core.workload.Workload` — the hook for running
+        every experiment on *real* traces: load them with
+        :mod:`repro.traces.spc` / ``hpl`` and pass them here under
+        ``websearch`` / ``fintrans`` / ``openmail``.
+    """
+
+    duration: float = DEFAULT_DURATION
+    seed_offset: int = 0
+    overrides: dict = field(default_factory=dict)
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def workload(self, name: str) -> Workload:
+        """Load (and memoize) a library workload at this config's scale."""
+        key = name.lower()
+        if key in self.overrides:
+            return self.overrides[key]
+        if key not in self._cache:
+            base_seed = {"websearch": 11, "fintrans": 13, "openmail": 17}[key]
+            self._cache[key] = load(
+                key, duration=self.duration, seed=base_seed + self.seed_offset
+            )
+        return self._cache[key]
+
+    def workloads(self, names=PAPER_WORKLOADS) -> list[Workload]:
+        return [self.workload(n) for n in names]

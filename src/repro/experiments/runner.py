@@ -1,0 +1,126 @@
+"""Command-line runner: regenerate any table or figure of the paper.
+
+Usage::
+
+    repro-experiments table1 [--duration 300]
+    repro-experiments figure2 figure6
+    repro-experiments all --duration 120 --output EXPERIMENTS-run.md
+
+Each experiment prints its rendered table/figure; ``--output`` appends
+everything to a Markdown file with headers, which is how the committed
+EXPERIMENTS.md measurements were produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import extensions, sensitivity, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
+from .common import ExperimentConfig
+
+#: Experiment registry: name -> (run, render) callables.
+EXPERIMENTS = {
+    "table1": (table1.run, table1.render),
+    "figure2": (figure2.run, figure2.render),
+    "figure3": (figure3.run, figure3.render),
+    "figure4": (figure4.run, figure4.render),
+    "figure5": (figure5.run, figure5.render),
+    "figure6": (figure6.run, figure6.render),
+    "figure7": (figure7.run, figure7.render),
+    "figure8": (figure8.run, figure8.render),
+    # Beyond the paper (not part of "all"):
+    "extensions": (extensions.run, extensions.render),
+    "sensitivity": (sensitivity.run, sensitivity.render),
+}
+
+#: Paper presentation order for "all" (extensions run only by name).
+ORDER = ("table1", "figure2", "figure3", "figure4", "figure5", "figure6", "figure7", "figure8")
+
+
+def run_experiment(name: str, config: ExperimentConfig) -> str:
+    """Run one experiment and return its rendered text."""
+    run, render = EXPERIMENTS[name]
+    return render(run(config))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    # NOTE: choices are validated manually — Python 3.11's argparse
+    # rejects an *empty* nargs="*" positional when choices is set.
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help=f"which experiments to run: {', '.join(sorted(EXPERIMENTS))}, "
+             "or 'all'",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every reproduction criterion and print PASS/FAIL",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=ExperimentConfig().duration,
+        help="trace length in seconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--seed-offset",
+        type=int,
+        default=0,
+        help="offset added to library seeds (independent replicas)",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="also append rendered output to this Markdown file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.verify:
+        from . import verify as verify_module
+
+        config = ExperimentConfig(
+            duration=args.duration, seed_offset=args.seed_offset
+        )
+        checks = verify_module.verify(config)
+        print(verify_module.render(checks))
+        return 0 if all(c.passed for c in checks) else 1
+    if not args.experiments:
+        parser.error("name experiments to run, use 'all', or pass --verify")
+    known = set(EXPERIMENTS) | {"all"}
+    unknown = [e for e in args.experiments if e not in known]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; known: {sorted(known)}")
+
+    names = list(ORDER) if "all" in args.experiments else args.experiments
+    config = ExperimentConfig(duration=args.duration, seed_offset=args.seed_offset)
+
+    sections = []
+    for name in names:
+        started = time.time()
+        text = run_experiment(name, config)
+        elapsed = time.time() - started
+        print(f"== {name} ({elapsed:.1f} s) ==")
+        print(text)
+        print()
+        sections.append((name, text, elapsed))
+
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as handle:
+            for name, text, elapsed in sections:
+                handle.write(f"## {name} (duration={args.duration:g}s, {elapsed:.1f}s)\n\n")
+                handle.write("```\n" + text + "\n```\n\n")
+        print(f"appended {len(sections)} section(s) to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Sensitivity study: how robust is the provisioning to trace distortion?
+
+A provider profiles a workload once and provisions from the resulting
+``Cmin`` — but the live traffic will not match the profiled trace
+exactly.  This experiment perturbs each stand-in workload along three
+axes (using :mod:`repro.traces.perturb`) and measures how ``Cmin(90%)``
+and ``Cmin(100%)`` move:
+
+* **thinning** (keep 90% of requests) — mild load decrease;
+* **timestamp jitter** (±5 ms) — measurement noise at the deadline scale;
+* **batching** (10 ms grid) — coalesced arrivals, the worst distortion
+  for a 10 ms deadline.
+
+Measured headline (see EXPERIMENTS.md): the worst-case ``Cmin(100%)`` is
+the *fragile* estimate — +-20-40% swings under 5 ms jitter, because it
+hangs off a handful of extreme batches whose exact micro-timing the
+distortions rewrite.  The decomposed ``Cmin(90%)`` moves a few percent
+under thinning and jitter; only deliberate 10 ms batching (coalescing at
+the deadline scale) shifts it materially, and then it shifts *both*
+estimates together.  Another face of "don't let the tail wag your
+server": the tail is also the untrustworthy part of a profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.reporting import format_table
+from ..core.capacity import CapacityPlanner
+from ..traces.perturb import batch, jitter, thin
+from ..units import ms
+from .common import PAPER_WORKLOADS, ExperimentConfig
+
+DELTA = ms(10)
+
+PERTURBATIONS = {
+    "thin 90%": lambda w: thin(w, 0.9, seed=1),
+    "jitter 5ms": lambda w: jitter(w, ms(5), seed=2),
+    "batch 10ms": lambda w: batch(w, ms(10)),
+}
+
+
+@dataclass(frozen=True)
+class SensitivityCell:
+    workload_name: str
+    perturbation: str
+    base_c90: float
+    base_c100: float
+    perturbed_c90: float
+    perturbed_c100: float
+
+    @property
+    def c90_shift(self) -> float:
+        """Relative change of Cmin(90%)."""
+        return self.perturbed_c90 / self.base_c90 - 1.0
+
+    @property
+    def c100_shift(self) -> float:
+        return self.perturbed_c100 / self.base_c100 - 1.0
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    cells: list
+    delta: float
+
+    def for_workload(self, name: str) -> list:
+        return [c for c in self.cells if c.workload_name == name]
+
+
+def run(config: ExperimentConfig | None = None) -> SensitivityResult:
+    config = config or ExperimentConfig()
+    cells = []
+    for name in PAPER_WORKLOADS:
+        workload = config.workload(name)
+        base = CapacityPlanner(workload, DELTA)
+        base_curve = base.capacity_curve([0.9, 1.0])
+        for label, perturbation in PERTURBATIONS.items():
+            perturbed = perturbation(workload)
+            planner = CapacityPlanner(perturbed, DELTA)
+            curve = planner.capacity_curve([0.9, 1.0])
+            cells.append(
+                SensitivityCell(
+                    workload_name=workload.name,
+                    perturbation=label,
+                    base_c90=base_curve[0.9],
+                    base_c100=base_curve[1.0],
+                    perturbed_c90=curve[0.9],
+                    perturbed_c100=curve[1.0],
+                )
+            )
+    return SensitivityResult(cells=cells, delta=DELTA)
+
+
+def render(result: SensitivityResult) -> str:
+    rows = []
+    for cell in result.cells:
+        rows.append([
+            cell.workload_name,
+            cell.perturbation,
+            int(cell.base_c90),
+            int(cell.perturbed_c90),
+            f"{cell.c90_shift:+.1%}",
+            int(cell.base_c100),
+            int(cell.perturbed_c100),
+            f"{cell.c100_shift:+.1%}",
+        ])
+    return format_table(
+        ["workload", "perturbation", "c90", "c90'", "shift",
+         "c100", "c100'", "shift"],
+        rows,
+        title=(
+            "Sensitivity of Cmin to trace distortions "
+            f"(delta = {result.delta * 1000:g} ms)"
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Table 1: capacity required for a workload fraction to meet a deadline.
+
+For every workload, deadline ``delta`` in {5, 10, 20, 50} ms and fraction
+``f`` in {90, 95, 99, 99.5, 99.9, 100}%, compute ``Cmin`` — the minimum
+server capacity at which RTT admits fraction ``f`` within ``delta``.
+
+The reproduction criterion is the *knee*: exempting the last 1-10% of
+requests slashes the capacity requirement by the paper's large factors
+(WS ~3.8x, FT ~7.5x, OM ~8.6x at 10 ms from 90% to 100%), with the knee
+steepening as the deadline tightens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.reporting import format_table
+from ..core.capacity import CapacityPlanner
+from ..units import to_ms
+from .common import PAPER_DELTAS, PAPER_FRACTIONS, PAPER_WORKLOADS, ExperimentConfig
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """``capacities[workload][delta][fraction] -> Cmin`` plus run config."""
+
+    capacities: dict
+    deltas: tuple
+    fractions: tuple
+    duration: float
+
+    def knee(self, workload: str, delta: float) -> float:
+        """``Cmin(100%) / Cmin(90%)`` for one row."""
+        row = self.capacities[workload][delta]
+        return row[1.0] / row[0.9]
+
+    def rows(self):
+        """Flatten to (workload, delta, {fraction: cmin}) tuples."""
+        for name, by_delta in self.capacities.items():
+            for delta, row in by_delta.items():
+                yield name, delta, row
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    workload_names=PAPER_WORKLOADS,
+    deltas=PAPER_DELTAS,
+    fractions=PAPER_FRACTIONS,
+) -> Table1Result:
+    """Compute the full capacity table."""
+    config = config or ExperimentConfig()
+    capacities: dict = {}
+    for name in workload_names:
+        workload = config.workload(name)
+        capacities[name] = {}
+        for delta in deltas:
+            planner = CapacityPlanner(workload, delta)
+            capacities[name][delta] = planner.capacity_curve(list(fractions))
+    return Table1Result(
+        capacities=capacities,
+        deltas=tuple(deltas),
+        fractions=tuple(fractions),
+        duration=config.duration,
+    )
+
+
+def render(result: Table1Result) -> str:
+    """Text rendering in the paper's layout."""
+    headers = ["Workload", "Target"] + [
+        f"{f:.1%}".rstrip("0").rstrip(".") if f < 1 else "100%"
+        for f in result.fractions
+    ]
+    rows = []
+    for name, by_delta in result.capacities.items():
+        for i, (delta, row) in enumerate(sorted(by_delta.items())):
+            label = name if i == 0 else ""
+            rows.append(
+                [label, f"{to_ms(delta):g} ms"]
+                + [int(row[f]) for f in result.fractions]
+            )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            "Table 1: Capacity (IOPS) required for specified workload "
+            "fraction to meet the response time target"
+        ),
+    )
+    knees = ", ".join(
+        f"{name}@10ms: {result.knee(name, 0.010):.1f}x"
+        for name in result.capacities
+        if 0.010 in result.capacities[name]
+    )
+    return table + ("\n\nKnee (Cmin 100% / Cmin 90%): " + knees if knees else "")

@@ -1,0 +1,169 @@
+"""One-command reproduction verification.
+
+Encodes EXPERIMENTS.md's shape criteria as executable checks so anyone
+can validate the reproduction without the pytest toolchain:
+
+```
+$ repro-experiments --verify
+[PASS] table1: knee at 10 ms large for every workload ...
+...
+17/17 criteria passed
+```
+
+The same criteria are asserted (with timing) by ``benchmarks/``; this
+module is the self-contained, human-readable version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import ms
+from . import figure2, figure4, figure6, figure7, figure8, table1
+from .common import ExperimentConfig
+
+
+@dataclass(frozen=True)
+class Check:
+    """One verified criterion."""
+
+    experiment: str
+    criterion: str
+    passed: bool
+    detail: str
+
+
+def _check(results: list, experiment: str, criterion: str, passed: bool, detail: str):
+    results.append(Check(experiment, criterion, bool(passed), detail))
+
+
+def verify(config: ExperimentConfig | None = None) -> list[Check]:
+    """Run the evaluation and check every reproduction criterion."""
+    config = config or ExperimentConfig()
+    checks: list[Check] = []
+
+    # ---- Table 1 ------------------------------------------------------
+    t1 = table1.run(config)
+    knees = {name: t1.knee(name, ms(10)) for name in t1.capacities}
+    _check(
+        checks, "table1", "capacity knee large for every workload @10ms",
+        all(k > 2.0 for k in knees.values()),
+        ", ".join(f"{n}={k:.1f}x" for n, k in knees.items()),
+    )
+    _check(
+        checks, "table1", "WS knee mildest (paper ordering)",
+        knees["websearch"] < knees["openmail"],
+        f"WS {knees['websearch']:.1f}x < OM {knees['openmail']:.1f}x",
+    )
+    decays = {
+        name: t1.knee(name, ms(5)) / t1.knee(name, ms(50))
+        for name in t1.capacities
+    }
+    _check(
+        checks, "table1", "knee shrinks as the deadline relaxes",
+        all(d > 1.0 for d in decays.values()),
+        ", ".join(f"{n} x{d:.1f}" for n, d in decays.items()),
+    )
+    ft = t1.capacities["fintrans"][ms(10)]
+    _check(
+        checks, "table1", "FinTrans last-0.1% jump",
+        ft[1.0] / ft[0.999] > 1.5,
+        f"{ft[0.999]:.0f} -> {ft[1.0]:.0f} IOPS ({ft[1.0] / ft[0.999]:.1f}x)",
+    )
+
+    # ---- Figure 2 ------------------------------------------------------
+    f2 = figure2.run(config)
+    _check(
+        checks, "figure2", "decomposition collapses the burst peaks",
+        f2.primary_peak < 0.6 * f2.original_peak,
+        f"peak {f2.original_peak:.0f} -> {f2.primary_peak:.0f} IOPS",
+    )
+    _check(
+        checks, "figure2", "Miser recombination serves 100% w/ rare misses",
+        f2.primary_misses <= 0.005 * len(config.workload("openmail")),
+        f"{f2.primary_misses} primary misses",
+    )
+
+    # ---- Figures 4/5 ---------------------------------------------------
+    f4 = figure4.run(config)
+    _check(
+        checks, "figure4", "FCFS short of the decomposed target everywhere",
+        all(c.compliance_at_delta < c.fraction_target - 0.05 for c in f4.cells),
+        "; ".join(
+            f"{c.workload_name}@{c.delta * 1000:g}ms={c.compliance_at_delta:.0%}"
+            for c in f4.cells[:3]
+        )
+        + " ...",
+    )
+
+    # ---- Figure 6 ------------------------------------------------------
+    f6 = figure6.run(config)
+    edge = f"<={0.05:g}"
+    panel = f6.panel(0.90)
+    _check(
+        checks, "figure6", "Split & FairQueue hit the target at delta",
+        panel.bins("split")[edge] >= 0.88 and panel.bins("fairqueue")[edge] >= 0.88,
+        f"split={panel.bins('split')[edge]:.1%}, "
+        f"fairqueue={panel.bins('fairqueue')[edge]:.1%}",
+    )
+    _check(
+        checks, "figure6", "Miser within a whisker, FCFS well short",
+        panel.bins("miser")[edge] >= 0.83 and panel.bins("fcfs")[edge] < 0.85,
+        f"miser={panel.bins('miser')[edge]:.1%}, fcfs={panel.bins('fcfs')[edge]:.1%}",
+    )
+    mean_ratio, max_ratio = f6.overflow_ratios[0.90]
+    _check(
+        checks, "figure6", "Miser's overflow class beats FairQueue's",
+        mean_ratio < 1.0 and max_ratio <= 1.05,
+        f"avg x{mean_ratio:.2f}, max x{max_ratio:.2f}",
+    )
+
+    # ---- Figures 7/8 ---------------------------------------------------
+    f7 = figure7.run(config)
+    worst_ratios = [
+        f7.cell(name, 1.0).ratio(shift)
+        for name in ("WebSearch", "FinTrans", "OpenMail")
+        for shift in (1.0, 100.0)
+    ]
+    _check(
+        checks, "figure7", "worst-case estimates over-provision ~2x",
+        all(r < 0.75 for r in worst_ratios),
+        f"ratios {min(worst_ratios):.2f}-{max(worst_ratios):.2f}",
+    )
+    smart_ratios = [
+        f7.cell(name, 0.90).ratio(shift)
+        for name in ("WebSearch", "FinTrans", "OpenMail")
+        for shift in (1.0, 100.0)
+    ]
+    _check(
+        checks, "figure7", "decomposed estimates accurate at both shifts",
+        all(0.80 <= r <= 1.02 for r in smart_ratios),
+        f"ratios {min(smart_ratios):.2f}-{max(smart_ratios):.2f}",
+    )
+
+    f8 = figure8.run(config)
+    improvements = []
+    for pair in (("websearch", "fintrans"), ("fintrans", "openmail"),
+                 ("openmail", "websearch")):
+        improvements.append(
+            f8.result(pair, 0.90).relative_error
+            < f8.result(pair, 1.0).relative_error
+        )
+    _check(
+        checks, "figure8", "decomposed estimates beat traditional on every pair",
+        all(improvements),
+        f"{sum(improvements)}/3 pairs improved",
+    )
+    return checks
+
+
+def render(checks: list[Check]) -> str:
+    lines = []
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(
+            f"[{status}] {check.experiment}: {check.criterion} ({check.detail})"
+        )
+    passed = sum(1 for c in checks if c.passed)
+    lines.append(f"\n{passed}/{len(checks)} criteria passed")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Recombination schedulers (Section 3.2) and fair-queuing substrates."""
+
+from .base import Scheduler
+from .classifier import OnlineRTTClassifier
+from .drr import DeficitRoundRobin, DRRScheduler
+from .edf import EDFScheduler
+from .fair import FairQueue, FairQueueScheduler
+from .fcfs import FCFSScheduler
+from .miser import MiserScheduler
+from .pclock import FlowSLA, PClockScheduler, feasible
+from .registry import ALL_POLICIES, SINGLE_SERVER_POLICIES, make_scheduler
+
+__all__ = [
+    "Scheduler",
+    "OnlineRTTClassifier",
+    "DeficitRoundRobin",
+    "DRRScheduler",
+    "EDFScheduler",
+    "FairQueue",
+    "FairQueueScheduler",
+    "FCFSScheduler",
+    "MiserScheduler",
+    "FlowSLA",
+    "PClockScheduler",
+    "feasible",
+    "ALL_POLICIES",
+    "SINGLE_SERVER_POLICIES",
+    "make_scheduler",
+]

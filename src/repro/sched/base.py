@@ -1,0 +1,44 @@
+"""Scheduler interface used by the device driver.
+
+A scheduler owns the driver-level queues.  The driver feeds it every
+arriving request (:meth:`Scheduler.on_arrival`), asks it which request to
+serve whenever the server goes idle (:meth:`Scheduler.select`), and
+notifies it of completions (:meth:`Scheduler.on_completion`) so that
+classifying schedulers can maintain their queue-occupancy state.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.request import Request
+
+
+class Scheduler(abc.ABC):
+    """Dispatch policy over the driver's pending requests."""
+
+    #: Short policy name used in reports ("fcfs", "miser", ...).
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def on_arrival(self, request: Request) -> None:
+        """Accept an arriving request (classify it and queue it)."""
+
+    @abc.abstractmethod
+    def select(self, now: float) -> Request | None:
+        """Pop the next request to serve, or ``None`` if nothing pending.
+
+        Called only when the server is idle; the scheduler must remove the
+        returned request from its queues and perform any per-dispatch
+        bookkeeping (virtual time, slack updates).
+        """
+
+    def on_completion(self, request: Request) -> None:
+        """Hook invoked when ``request`` finishes service."""
+
+    @abc.abstractmethod
+    def pending(self) -> int:
+        """Number of queued (not yet dispatched) requests."""
+
+    def __len__(self) -> int:
+        return self.pending()

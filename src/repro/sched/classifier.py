@@ -1,0 +1,78 @@
+"""Online RTT classifier: Algorithm 1 running live in the device driver.
+
+Unlike the offline :func:`repro.core.rtt.decompose` (which profiles a
+whole trace against a dedicated rate-``C`` server), this classifier runs
+inside a live system: its ``lenQ1`` is the actual number of primary-class
+requests currently outstanding (queued or in service), decremented when
+the *real* server — whatever its speed and sharing policy — completes
+them.  This is exactly where the paper implements RTT: "at the device
+driver level which catches all the incoming requests before they reach
+the underlying disks" (Section 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.request import QoSClass, Request
+from ..exceptions import ConfigurationError
+
+
+class OnlineRTTClassifier:
+    """Bounded-queue admission into the primary class.
+
+    Parameters
+    ----------
+    capacity:
+        The *decomposition* capacity ``Cmin`` defining the queue bound
+        ``maxQ1 = Cmin * delta``.  Note this is the planned capacity, not
+        necessarily the speed of the server behind the driver.
+    delta:
+        Primary-class response-time bound (seconds).
+    """
+
+    def __init__(self, capacity: float, delta: float):
+        if capacity <= 0 or delta <= 0:
+            raise ConfigurationError("capacity and delta must be positive")
+        self.capacity = float(capacity)
+        self.delta = float(delta)
+        #: Queue bound in whole requests: occupancy never exceeds this.
+        self.limit = math.floor(capacity * delta + 1e-9)
+        #: Primary requests outstanding (queued + in service).
+        self.len_q1 = 0
+        self.n_primary = 0
+        self.n_overflow = 0
+
+    @property
+    def max_queue(self) -> float:
+        """The paper's ``maxQ1 = C * delta`` (possibly fractional)."""
+        return self.capacity * self.delta
+
+    def classify(self, request: Request) -> QoSClass:
+        """Assign the request to ``Q1`` or ``Q2`` (Algorithm 1).
+
+        Admits iff ``lenQ1 <= maxQ1 - 1``; increments ``lenQ1`` on
+        admission and stamps the request's deadline.
+        """
+        if self.len_q1 < self.limit:
+            self.len_q1 += 1
+            self.n_primary += 1
+            request.classify(QoSClass.PRIMARY, delta=self.delta)
+            return QoSClass.PRIMARY
+        self.n_overflow += 1
+        request.classify(QoSClass.OVERFLOW)
+        return QoSClass.OVERFLOW
+
+    def on_completion(self, request: Request) -> None:
+        """Release the request's ``Q1`` slot (departure decrement)."""
+        if request.qos_class is QoSClass.PRIMARY:
+            if self.len_q1 <= 0:
+                raise ConfigurationError(
+                    "Q1 occupancy underflow: completion without admission"
+                )
+            self.len_q1 -= 1
+
+    @property
+    def fraction_primary(self) -> float:
+        total = self.n_primary + self.n_overflow
+        return self.n_primary / total if total else 1.0

@@ -1,0 +1,74 @@
+"""Earliest-deadline-first scheduling over the decomposed classes.
+
+An additional recombiner beyond the paper's four: primary requests are
+served in deadline order (which for uniform ``delta`` equals FCFS within
+``Q1``), and overflow requests are served whenever no primary deadline is
+at risk *according to the actual clock* — a time-based variant of Miser's
+queue-slot slack.
+
+EDF dispatches an overflow request at time ``t`` iff serving it (one
+service quantum ``1/C``) still leaves every queued primary request able
+to finish by its absolute deadline at rate ``C``:
+
+    t + (k + 1) / C <= d_k   for every queued primary position k
+
+which reduces to checking the single tightest ``d_k - (k + 1)/C``.
+Compared to Miser, this uses the *live clock* rather than slack counters
+frozen at admission, so it can exploit slack Miser forgets (a primary
+request that waited keeps its absolute deadline, but Miser's stored
+slack never grows back).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.request import QoSClass, Request
+from ..exceptions import ConfigurationError
+from .base import Scheduler
+from .classifier import OnlineRTTClassifier
+
+
+class EDFScheduler(Scheduler):
+    """Deadline-aware two-class scheduler (clock-based slack)."""
+
+    name = "edf"
+
+    def __init__(self, classifier: OnlineRTTClassifier, service_rate: float):
+        if service_rate <= 0:
+            raise ConfigurationError(
+                f"service_rate must be positive, got {service_rate}"
+            )
+        self.classifier = classifier
+        self.service_time = 1.0 / service_rate
+        self._q1: deque[Request] = deque()
+        self._q2: deque[Request] = deque()
+
+    def on_arrival(self, request: Request) -> None:
+        if self.classifier.classify(request) is QoSClass.PRIMARY:
+            self._q1.append(request)  # uniform delta: FIFO == EDF
+        else:
+            self._q2.append(request)
+
+    def _overflow_is_safe(self, now: float) -> bool:
+        """Would one overflow quantum endanger any queued primary?"""
+        for position, request in enumerate(self._q1):
+            finish_if_deferred = now + (position + 2) * self.service_time
+            if finish_if_deferred > request.deadline + 1e-12:
+                return False
+        return True
+
+    def select(self, now: float) -> Request | None:
+        if self._q2 and (not self._q1 or self._overflow_is_safe(now)):
+            return self._q2.popleft()
+        if self._q1:
+            return self._q1.popleft()
+        if self._q2:
+            return self._q2.popleft()
+        return None
+
+    def on_completion(self, request: Request) -> None:
+        self.classifier.on_completion(request)
+
+    def pending(self) -> int:
+        return len(self._q1) + len(self._q2)

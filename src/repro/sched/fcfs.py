@@ -1,0 +1,34 @@
+"""First-come first-served scheduling — the paper's baseline.
+
+No decomposition: every request joins a single FIFO queue.  Bursts queue
+up behind well-behaved traffic and their delay spills over onto it, which
+is precisely the "tail wagging the server" behaviour the paper sets out
+to fix (Section 4.2 measures it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.request import Request
+from .base import Scheduler
+
+
+class FCFSScheduler(Scheduler):
+    """Single unbounded FIFO queue."""
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        self._queue: deque[Request] = deque()
+
+    def on_arrival(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def select(self, now: float) -> Request | None:
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,80 @@
+"""Miser: slack-based recombination scheduling (Algorithm 2).
+
+Miser couples the two classes tightly: whenever every pending primary
+request can still afford to give away a service slot (``minSlack >= 1``),
+the next slot goes to the overflow queue — so overflow requests are
+served *as early as possible* instead of waiting for the primary class to
+drain (FairQueue) or for a dedicated server (Split).
+
+The slack arithmetic follows Algorithm 2, with the O(n) "decrement every
+queued request" replaced by the equivalent O(log n)
+:class:`~repro.core.slack.SlackTracker`.
+
+Being online, RTT + Miser can in the worst case delay a few primary
+requests beyond their deadline; the paper proves ``delta_C = Cmin`` makes
+that impossible and observes that tiny ``delta_C`` suffices in practice —
+both claims are covered in the test suite and benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+
+from ..core.request import QoSClass, Request
+from ..core.slack import SlackTracker, initial_slack
+from .base import Scheduler
+from .classifier import OnlineRTTClassifier
+
+
+class MiserScheduler(Scheduler):
+    """Slack-gated two-class scheduler."""
+
+    name = "miser"
+
+    def __init__(self, classifier: OnlineRTTClassifier):
+        self.classifier = classifier
+        self._q1: deque[tuple[Request, int]] = deque()  # (request, slack key)
+        self._q2: deque[Request] = deque()
+        self._tracker = SlackTracker()
+        self._keys = itertools.count()
+        #: Overflow requests served ahead of queued primaries (telemetry).
+        self.slack_dispatches = 0
+
+    def on_arrival(self, request: Request) -> None:
+        qos = self.classifier.classify(request)
+        if qos is QoSClass.PRIMARY:
+            key = next(self._keys)
+            # Post-increment occupancy, exactly as Algorithm 2 reads lenQ1.
+            slack = initial_slack(self.classifier.max_queue, self.classifier.len_q1)
+            self._tracker.insert(key, slack)
+            self._q1.append((request, key))
+        else:
+            self._q2.append(request)
+
+    def select(self, now: float) -> Request | None:
+        # Algorithm 2 departure rule: overflow may run iff even the most
+        # constrained primary request can spare a slot.
+        if self._q2 and self._tracker.min_slack() >= 1:
+            if self._q1:
+                self.slack_dispatches += 1
+            self._tracker.decrement_all()
+            return self._q2.popleft()
+        if self._q1:
+            request, key = self._q1.popleft()
+            self._tracker.remove(key)
+            return request
+        if self._q2:
+            return self._q2.popleft()
+        return None
+
+    def on_completion(self, request: Request) -> None:
+        self.classifier.on_completion(request)
+
+    def pending(self) -> int:
+        return len(self._q1) + len(self._q2)
+
+    @property
+    def min_slack(self) -> int:
+        """Current minimum slack across queued primary requests."""
+        return self._tracker.min_slack()

@@ -1,0 +1,57 @@
+"""Name-based construction of recombination schedulers.
+
+Central place mapping the paper's policy names ("fcfs", "split",
+"fairqueue", "miser") to the objects that implement them, so experiment
+and benchmark code can be written against policy names.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from .base import Scheduler
+from .classifier import OnlineRTTClassifier
+from .fair import FairQueueScheduler
+from .drr import DRRScheduler
+from .edf import EDFScheduler
+from .fcfs import FCFSScheduler
+from .miser import MiserScheduler
+
+#: Policies served by a single shared server (Split is a topology, not a
+#: scheduler — see repro.server.cluster.SplitSystem).
+SINGLE_SERVER_POLICIES = ("fcfs", "fairqueue", "wf2q", "drr", "miser", "edf")
+ALL_POLICIES = SINGLE_SERVER_POLICIES + ("split",)
+
+
+def make_scheduler(
+    policy: str, cmin: float, delta_c: float, delta: float
+) -> Scheduler:
+    """Build a single-server scheduler for ``policy``.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown policies, or for "split" (which needs two servers —
+        use :class:`repro.server.cluster.SplitSystem`).
+    """
+    if policy == "fcfs":
+        return FCFSScheduler()
+    if policy == "fairqueue":
+        classifier = OnlineRTTClassifier(cmin, delta)
+        return FairQueueScheduler(classifier, cmin, delta_c, variant="sfq")
+    if policy == "wf2q":
+        classifier = OnlineRTTClassifier(cmin, delta)
+        return FairQueueScheduler(classifier, cmin, delta_c, variant="wf2q")
+    if policy == "drr":
+        classifier = OnlineRTTClassifier(cmin, delta)
+        return DRRScheduler(classifier, cmin, delta_c)
+    if policy == "miser":
+        classifier = OnlineRTTClassifier(cmin, delta)
+        return MiserScheduler(classifier)
+    if policy == "edf":
+        classifier = OnlineRTTClassifier(cmin, delta)
+        return EDFScheduler(classifier, service_rate=cmin + delta_c)
+    if policy == "split":
+        raise ConfigurationError(
+            "split is a two-server topology; use repro.server.cluster.SplitSystem"
+        )
+    raise ConfigurationError(f"unknown policy {policy!r}; known: {ALL_POLICIES}")

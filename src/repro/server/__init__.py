@@ -1,0 +1,28 @@
+"""Storage server models and the device-driver integration layer."""
+
+from .base import Server, ServiceTimeModel
+from .cluster import SplitSystem
+from .constant_rate import ConstantRateModel, constant_rate_server
+from .degraded import Brownout, DegradedModel, FlakyModel
+from .disk import DiskModel, DiskParameters
+from .driver import DeviceDriver
+from .farm import ServerFarm, constant_rate_farm
+from .ssd import SSDModel, SSDParameters
+
+__all__ = [
+    "Server",
+    "ServiceTimeModel",
+    "SplitSystem",
+    "ConstantRateModel",
+    "constant_rate_server",
+    "Brownout",
+    "DegradedModel",
+    "FlakyModel",
+    "DiskModel",
+    "DiskParameters",
+    "DeviceDriver",
+    "ServerFarm",
+    "constant_rate_farm",
+    "SSDModel",
+    "SSDParameters",
+]

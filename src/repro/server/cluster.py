@@ -1,0 +1,106 @@
+"""Split topology: overflow offloaded to a separate physical server.
+
+The paper's ``Split`` recombiner sends ``Q1`` to the main server (capacity
+``Cmin``) and ``Q2`` to a dedicated secondary server (capacity
+``delta_C``) — in the spirit of Everest-style write off-loading.  The two
+servers cannot share capacity: if one idles while the other is backlogged,
+that capacity is wasted, which is exactly the effect Section 4.3 measures
+against FairQueue and Miser.
+"""
+
+from __future__ import annotations
+
+from ..core.request import QoSClass, Request
+from ..exceptions import ConfigurationError
+from ..sched.classifier import OnlineRTTClassifier
+from ..sched.fcfs import FCFSScheduler
+from ..sim.engine import Simulator
+from ..sim.stats import ResponseTimeCollector
+from .constant_rate import constant_rate_server
+from .driver import DeviceDriver
+
+
+class SplitSystem:
+    """Front end routing RTT classes to two independent servers.
+
+    Parameters
+    ----------
+    sim:
+        Simulation engine shared by both servers.
+    cmin:
+        Primary server capacity (also the classifier's decomposition
+        capacity).
+    delta_c:
+        Secondary (overflow) server capacity.
+    delta:
+        Primary-class response-time bound.
+    """
+
+    def __init__(self, sim: Simulator, cmin: float, delta_c: float, delta: float):
+        if delta_c <= 0:
+            raise ConfigurationError(
+                f"Split needs a positive overflow capacity, got {delta_c}"
+            )
+        self.sim = sim
+        self.classifier = OnlineRTTClassifier(cmin, delta)
+        self.primary_driver = DeviceDriver(
+            sim, constant_rate_server(sim, cmin, "primary"), _NotifyingFCFS(self)
+        )
+        self.overflow_driver = DeviceDriver(
+            sim, constant_rate_server(sim, delta_c, "overflow"), FCFSScheduler()
+        )
+
+    def on_arrival(self, request: Request) -> None:
+        """Classify, then route to the class's dedicated server."""
+        qos = self.classifier.classify(request)
+        if qos is QoSClass.PRIMARY:
+            self.primary_driver.on_arrival(request)
+        else:
+            self.overflow_driver.on_arrival(request)
+
+    # ------------------------------------------------------------------
+    # Aggregated views matching DeviceDriver's reporting surface
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> list[Request]:
+        return self.primary_driver.completed + self.overflow_driver.completed
+
+    @property
+    def overall(self) -> ResponseTimeCollector:
+        merged = ResponseTimeCollector("overall")
+        merged.extend(self.primary_driver.overall.samples)
+        merged.extend(self.overflow_driver.overall.samples)
+        return merged
+
+    @property
+    def by_class(self) -> dict[QoSClass, ResponseTimeCollector]:
+        return {
+            QoSClass.PRIMARY: self.primary_driver.by_class[QoSClass.PRIMARY],
+            QoSClass.OVERFLOW: self.overflow_driver.by_class[QoSClass.OVERFLOW],
+        }
+
+    def fraction_within(self, bound: float) -> float:
+        total = len(self.primary_driver.completed) + len(self.overflow_driver.completed)
+        if total == 0:
+            return 1.0
+        hits = self.primary_driver.overall.fraction_within(bound) * len(
+            self.primary_driver.completed
+        ) + self.overflow_driver.overall.fraction_within(bound) * len(
+            self.overflow_driver.completed
+        )
+        return hits / total
+
+    def primary_deadline_misses(self) -> int:
+        return self.primary_driver.primary_deadline_misses()
+
+
+class _NotifyingFCFS(FCFSScheduler):
+    """FCFS that releases the classifier's Q1 slot on completion."""
+
+    def __init__(self, system: SplitSystem):
+        super().__init__()
+        self._system = system
+
+    def on_completion(self, request: Request) -> None:
+        self._system.classifier.on_completion(request)

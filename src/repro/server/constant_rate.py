@@ -1,0 +1,36 @@
+"""The paper's server model: a constant rate of ``C`` IOPS.
+
+Every request takes exactly ``1 / C`` seconds of service.  This is the
+model in which the theory (``maxQ1 = C * delta``, the SCL, RTT
+optimality) is exact, and the model used for all headline experiments.
+"""
+
+from __future__ import annotations
+
+from ..core.request import Request
+from ..exceptions import ConfigurationError
+from ..sim.engine import Simulator
+from .base import Server
+
+
+class ConstantRateModel:
+    """Service-time model with a fixed per-request duration ``1 / C``."""
+
+    def __init__(self, capacity: float):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self._service = 1.0 / self.capacity
+
+    def service_time(self, request: Request) -> float:
+        return self._service
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConstantRateModel({self.capacity:g} IOPS)"
+
+
+def constant_rate_server(
+    sim: Simulator, capacity: float, name: str = "server"
+) -> Server:
+    """Convenience constructor for a rate-``C`` server."""
+    return Server(sim, ConstantRateModel(capacity), name=name)

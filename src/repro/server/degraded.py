@@ -1,0 +1,114 @@
+"""Failure injection: service-time degradation windows.
+
+Real servers brown out — a RAID rebuild, a firmware hiccup, a noisy
+co-tenant VM — and the effective service rate drops for a while.  The
+shaping framework's guarantees are stated for a healthy rate ``C``;
+these wrappers let the test- and benchmark-suite measure what actually
+happens to the guaranteed class when the substrate under-delivers, and
+how quickly it recovers.
+
+:class:`DegradedModel` wraps any service-time model and inflates service
+times by a factor inside configurable time windows (consulting the
+simulation clock).  :class:`FlakyModel` instead injects rare
+latency spikes (e.g. internal retries) with a given probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.request import Request
+from ..exceptions import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.rng import make_rng
+from .base import ServiceTimeModel
+
+
+@dataclass(frozen=True)
+class Brownout:
+    """One degradation window: service inflated by ``factor`` in
+    ``[start, end)``."""
+
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"brownout must end after it starts: [{self.start}, {self.end})"
+            )
+        if self.factor <= 1.0:
+            raise ConfigurationError(
+                f"brownout factor must exceed 1, got {self.factor}"
+            )
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class DegradedModel:
+    """Wrap a model with clock-driven brownout windows."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        base: ServiceTimeModel,
+        brownouts: list[Brownout],
+    ):
+        if not brownouts:
+            raise ConfigurationError("at least one brownout window required")
+        self.sim = sim
+        self.base = base
+        self.brownouts = sorted(brownouts, key=lambda b: b.start)
+        for earlier, later in zip(self.brownouts, self.brownouts[1:]):
+            if later.start < earlier.end:
+                raise ConfigurationError("brownout windows must not overlap")
+
+    def service_time(self, request: Request) -> float:
+        duration = self.base.service_time(request)
+        now = self.sim.now
+        for window in self.brownouts:
+            if window.active(now):
+                return duration * window.factor
+        return duration
+
+    def degraded_fraction(self, horizon: float) -> float:
+        """Share of ``[0, horizon]`` covered by brownouts."""
+        covered = sum(
+            max(0.0, min(b.end, horizon) - min(b.start, horizon))
+            for b in self.brownouts
+        )
+        return covered / horizon if horizon > 0 else 0.0
+
+
+class FlakyModel:
+    """Wrap a model with random latency spikes (internal retries)."""
+
+    def __init__(
+        self,
+        base: ServiceTimeModel,
+        spike_probability: float,
+        spike_factor: float,
+        seed: int | None = 0,
+    ):
+        if not 0.0 <= spike_probability <= 1.0:
+            raise ConfigurationError(
+                f"spike_probability must be in [0, 1], got {spike_probability}"
+            )
+        if spike_factor <= 1.0:
+            raise ConfigurationError(
+                f"spike_factor must exceed 1, got {spike_factor}"
+            )
+        self.base = base
+        self.spike_probability = spike_probability
+        self.spike_factor = spike_factor
+        self._rng = make_rng(seed)
+        self.spikes_injected = 0
+
+    def service_time(self, request: Request) -> float:
+        duration = self.base.service_time(request)
+        if self._rng.random() < self.spike_probability:
+            self.spikes_injected += 1
+            return duration * self.spike_factor
+        return duration

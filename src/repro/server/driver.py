@@ -1,0 +1,89 @@
+"""Device driver: the layer where the paper installs its shaper.
+
+The driver sits between arriving requests and a server.  It owns a
+scheduler (which may internally classify requests into ``Q1``/``Q2``),
+dispatches whenever the server is idle, and collects per-class response
+time statistics — the raw material of Figures 4-6.
+"""
+
+from __future__ import annotations
+
+from ..core.request import QoSClass, Request
+from ..sim.engine import Simulator
+from ..sim.stats import RateRecorder, ResponseTimeCollector
+from ..sched.base import Scheduler
+from .base import Server
+
+
+class DeviceDriver:
+    """Connects a scheduler to a server and records completions.
+
+    Parameters
+    ----------
+    sim, server, scheduler:
+        The simulation engine, the (idle) server to drive, and the
+        dispatch policy.
+    record_rates:
+        When set, completions are also binned into a rate time series
+        (used to draw Figure 2(c)); value is the bin width in seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: Server,
+        scheduler: Scheduler,
+        record_rates: float | None = None,
+    ):
+        self.sim = sim
+        self.server = server
+        self.scheduler = scheduler
+        server.on_completion = self._on_completion
+        self.completed: list[Request] = []
+        self.by_class = {
+            QoSClass.PRIMARY: ResponseTimeCollector("Q1"),
+            QoSClass.OVERFLOW: ResponseTimeCollector("Q2"),
+            QoSClass.UNCLASSIFIED: ResponseTimeCollector("all"),
+        }
+        self.overall = ResponseTimeCollector("overall")
+        self.completion_rates = RateRecorder(record_rates) if record_rates else None
+
+    def on_arrival(self, request: Request) -> None:
+        """Entry point for workload sources."""
+        self.scheduler.on_arrival(request)
+        self._try_dispatch()
+
+    def _try_dispatch(self) -> None:
+        # Loop: a multi-unit server (ServerFarm) may have several idle
+        # units to fill from the queue in one go.
+        while not self.server.busy:
+            request = self.scheduler.select(self.sim.now)
+            if request is None:
+                return
+            self.server.dispatch(request)
+
+    def _on_completion(self, request: Request) -> None:
+        self.scheduler.on_completion(request)
+        self.completed.append(request)
+        rt = request.response_time
+        self.by_class[request.qos_class].add(rt)
+        self.overall.add(rt)
+        if self.completion_rates is not None:
+            self.completion_rates.record(self.sim.now)
+        self._try_dispatch()
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+
+    def fraction_within(self, bound: float) -> float:
+        """Overall fraction of completed requests with response <= bound."""
+        return self.overall.fraction_within(bound)
+
+    def primary_deadline_misses(self) -> int:
+        """Primary-class requests that completed after their deadline."""
+        return sum(
+            1
+            for r in self.completed
+            if r.qos_class is QoSClass.PRIMARY and not r.met_deadline
+        )

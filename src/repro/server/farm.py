@@ -1,0 +1,95 @@
+"""Server farm: several parallel service units behind one driver.
+
+Storage arrays serve multiple requests concurrently (per-spindle or
+per-channel parallelism).  A :class:`ServerFarm` aggregates ``k`` service
+units: the driver dispatches whenever *any* unit is idle, so the farm
+behaves like an M/D/k station rather than the single-unit M/D/1 of
+:class:`~repro.server.base.Server`.
+
+The shaping theory carries over with ``C = k * unit_rate`` as the
+aggregate capacity: RTT's queue bound uses the aggregate, and the test
+suite checks the deadline guarantee degrades only by the one-quantum
+discretization the paper's fluid model ignores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.request import Request
+from ..exceptions import ConfigurationError, SchedulerError
+from ..sim.engine import Simulator
+from .base import Server, ServiceTimeModel
+from .constant_rate import ConstantRateModel
+
+
+class ServerFarm:
+    """``k`` independent service units presented as one server.
+
+    Implements the same ``busy`` / ``dispatch`` / ``on_completion``
+    surface as :class:`Server`, so :class:`~repro.server.driver.
+    DeviceDriver` drives it unchanged: ``busy`` means *no idle unit*.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        models: list[ServiceTimeModel],
+        name: str = "farm",
+    ):
+        if not models:
+            raise ConfigurationError("a farm needs at least one unit")
+        self.sim = sim
+        self.name = name
+        self.on_completion: Callable[[Request], None] | None = None
+        self._units = [
+            Server(sim, model, name=f"{name}[{i}]")
+            for i, model in enumerate(models)
+        ]
+        for unit in self._units:
+            unit.on_completion = self._unit_completed
+
+    @property
+    def size(self) -> int:
+        return len(self._units)
+
+    @property
+    def busy(self) -> bool:
+        """True iff every unit is serving a request."""
+        return all(unit.busy for unit in self._units)
+
+    @property
+    def in_service(self) -> int:
+        return sum(1 for unit in self._units if unit.busy)
+
+    @property
+    def completed(self) -> int:
+        return sum(unit.completed for unit in self._units)
+
+    def dispatch(self, request: Request) -> None:
+        """Start ``request`` on the first idle unit."""
+        for unit in self._units:
+            if not unit.busy:
+                unit.dispatch(request)
+                return
+        raise SchedulerError(f"{self.name}: dispatch with all units busy")
+
+    def _unit_completed(self, request: Request) -> None:
+        if self.on_completion is not None:
+            self.on_completion(request)
+
+    def utilization(self, horizon: float | None = None) -> float:
+        """Mean per-unit utilization."""
+        return sum(u.utilization(horizon) for u in self._units) / self.size
+
+
+def constant_rate_farm(
+    sim: Simulator, total_capacity: float, units: int, name: str = "farm"
+) -> ServerFarm:
+    """A farm of ``units`` equal units summing to ``total_capacity`` IOPS."""
+    if units <= 0:
+        raise ConfigurationError(f"units must be positive, got {units}")
+    per_unit = total_capacity / units
+    return ServerFarm(
+        sim, [ConstantRateModel(per_unit) for _ in range(units)], name=name
+    )

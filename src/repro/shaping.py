@@ -1,0 +1,216 @@
+"""High-level workload shaping facade.
+
+This module is the public entry point tying the pieces together the way
+the paper's system does:
+
+1. **Profile** the workload: find ``Cmin`` for a ``(fraction, delta)``
+   QoS target (:class:`~repro.core.capacity.CapacityPlanner`).
+2. **Decompose** it with RTT into guaranteed and overflow classes.
+3. **Recombine and serve** under a policy — ``fcfs``, ``split``,
+   ``fairqueue``, ``wf2q`` or ``miser`` — on a simulated server of
+   capacity ``Cmin + delta_C``, measuring the response-time distribution.
+
+Example
+-------
+>>> from repro.shaping import WorkloadShaper
+>>> from repro.traces.library import openmail
+>>> shaper = WorkloadShaper(delta=0.010, fraction=0.90)
+>>> outcome = shaper.shape(openmail(duration=60.0))
+>>> outcome.plan.cmin > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core.capacity import CapacityPlan, CapacityPlanner
+from .core.request import QoSClass
+from .core.rtt import DecompositionResult, decompose
+from .core.workload import Workload
+from .exceptions import ConfigurationError, SimulationError
+from .sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
+from .server.cluster import SplitSystem
+from .server.constant_rate import constant_rate_server
+from .server.driver import DeviceDriver
+from .sim.engine import Simulator
+from .sim.source import WorkloadSource
+from .sim.stats import ResponseTimeCollector
+
+
+@dataclass(frozen=True)
+class PolicyRunResult:
+    """Measured outcome of serving a workload under one policy.
+
+    Attributes
+    ----------
+    policy:
+        Policy name ("fcfs", "split", "fairqueue", "wf2q", "miser").
+    workload_name, cmin, delta_c, delta:
+        The experiment configuration.
+    overall, primary, overflow:
+        Response-time collectors for the whole stream and per class.
+        Under FCFS nothing is classified, so ``primary``/``overflow`` are
+        empty and ``overall`` carries everything.
+    primary_misses:
+        Guaranteed-class requests that finished after ``arrival + delta``.
+    """
+
+    policy: str
+    workload_name: str
+    cmin: float
+    delta_c: float
+    delta: float
+    overall: ResponseTimeCollector
+    primary: ResponseTimeCollector
+    overflow: ResponseTimeCollector
+    primary_misses: int
+    #: (bin_starts, completion rate IOPS) when rate recording was enabled.
+    completion_series: tuple | None = None
+
+    @property
+    def total_capacity(self) -> float:
+        return self.cmin + self.delta_c
+
+    def fraction_within(self, bound: float | None = None) -> float:
+        """Overall fraction meeting ``bound`` (defaults to ``delta``)."""
+        return self.overall.fraction_within(self.delta if bound is None else bound)
+
+    def binned_fractions(self, edges) -> dict[str, float]:
+        """Figure 6-style cumulative bins over the overall distribution."""
+        return self.overall.binned_fractions(edges)
+
+
+def run_policy(
+    workload: Workload,
+    policy: str,
+    cmin: float,
+    delta_c: float,
+    delta: float,
+    record_rates: float | None = None,
+) -> PolicyRunResult:
+    """Simulate serving ``workload`` under ``policy`` and collect stats.
+
+    Capacity allocation follows Section 4.3: the total provisioned
+    capacity is always ``cmin + delta_c``.  FCFS uses all of it on the
+    unpartitioned stream; Split dedicates ``cmin`` to ``Q1`` and
+    ``delta_c`` to ``Q2`` on separate servers; FairQueue/WF²Q/Miser share
+    a single ``cmin + delta_c`` server between the classes.
+    """
+    if cmin <= 0 or delta_c < 0 or delta <= 0:
+        raise ConfigurationError(
+            f"bad configuration: cmin={cmin}, delta_c={delta_c}, delta={delta}"
+        )
+    sim = Simulator()
+    if policy == "split":
+        if record_rates is not None:
+            raise ConfigurationError("rate recording is single-server only")
+        system = SplitSystem(sim, cmin, delta_c, delta)
+        sink = system
+    elif policy in SINGLE_SERVER_POLICIES:
+        scheduler = make_scheduler(policy, cmin, delta_c, delta)
+        server = constant_rate_server(sim, cmin + delta_c, name=policy)
+        system = DeviceDriver(sim, server, scheduler, record_rates=record_rates)
+        sink = system
+    else:
+        raise ConfigurationError(f"unknown policy {policy!r}")
+
+    source = WorkloadSource(sim, workload, sink)
+    source.start()
+    sim.run()
+
+    completed = system.completed
+    if len(completed) != len(workload):
+        raise SimulationError(
+            f"{policy}: {len(completed)} of {len(workload)} requests completed"
+        )
+    by_class = system.by_class
+    if policy == "fcfs":
+        primary = ResponseTimeCollector("Q1")
+        overflow = ResponseTimeCollector("Q2")
+        overall = system.overall
+    else:
+        primary = by_class[QoSClass.PRIMARY]
+        overflow = by_class[QoSClass.OVERFLOW]
+        overall = system.overall
+    return PolicyRunResult(
+        policy=policy,
+        workload_name=workload.name,
+        cmin=cmin,
+        delta_c=delta_c,
+        delta=delta,
+        overall=overall,
+        primary=primary,
+        overflow=overflow,
+        primary_misses=system.primary_deadline_misses(),
+        completion_series=(
+            system.completion_rates.series()
+            if record_rates is not None
+            else None
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ShapingOutcome:
+    """Plan + decomposition + (optional) simulated policy results."""
+
+    plan: CapacityPlan
+    decomposition: DecompositionResult
+    runs: dict
+
+    def run(self, policy: str) -> PolicyRunResult:
+        try:
+            return self.runs[policy]
+        except KeyError:
+            raise ConfigurationError(
+                f"policy {policy!r} was not simulated; have {sorted(self.runs)}"
+            ) from None
+
+
+class WorkloadShaper:
+    """End-to-end shaping pipeline for one QoS target.
+
+    Parameters
+    ----------
+    delta:
+        Response-time bound of the guaranteed class (seconds).
+    fraction:
+        Fraction of requests to guarantee.
+    delta_c:
+        Overflow surplus capacity; defaults to the paper's ``1 / delta``.
+    """
+
+    def __init__(self, delta: float, fraction: float, delta_c: float | None = None):
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        if not 0 < fraction <= 1:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        self.delta = delta
+        self.fraction = fraction
+        self.delta_c = delta_c if delta_c is not None else 1.0 / delta
+
+    def plan(self, workload: Workload) -> CapacityPlan:
+        """Profile: the minimum-capacity provisioning decision."""
+        planner = CapacityPlanner(workload, self.delta)
+        return planner.plan(self.fraction, delta_c=self.delta_c)
+
+    def decompose(self, workload: Workload, cmin: float | None = None):
+        """Split the workload at ``cmin`` (planned if not given)."""
+        if cmin is None:
+            cmin = self.plan(workload).cmin
+        return decompose(workload, cmin, self.delta)
+
+    def shape(
+        self,
+        workload: Workload,
+        policies: tuple[str, ...] = ("miser",),
+    ) -> ShapingOutcome:
+        """Plan, decompose, and simulate the requested policies."""
+        plan = self.plan(workload)
+        decomposition = decompose(workload, plan.cmin, self.delta)
+        runs = {
+            policy: run_policy(workload, policy, plan.cmin, plan.delta_c, self.delta)
+            for policy in policies
+        }
+        return ShapingOutcome(plan=plan, decomposition=decomposition, runs=runs)

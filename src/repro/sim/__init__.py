@@ -1,0 +1,33 @@
+"""Discrete-event simulation engine (the DiskSim stand-in substrate)."""
+
+from .engine import Simulator
+from .events import (
+    PRIORITY_ARRIVAL,
+    PRIORITY_COMPLETION,
+    PRIORITY_MONITOR,
+    Event,
+    EventQueue,
+)
+from .rng import make_rng, spawn
+from .source import RequestSink, WorkloadSource
+from .stats import OnlineStats, RateRecorder, ResponseTimeCollector
+from .trace_log import LifecycleEvent, LifecycleTracer, Phase
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "PRIORITY_ARRIVAL",
+    "PRIORITY_COMPLETION",
+    "PRIORITY_MONITOR",
+    "make_rng",
+    "spawn",
+    "RequestSink",
+    "WorkloadSource",
+    "OnlineStats",
+    "RateRecorder",
+    "ResponseTimeCollector",
+    "LifecycleEvent",
+    "LifecycleTracer",
+    "Phase",
+]

@@ -1,0 +1,24 @@
+"""Seeded randomness helpers.
+
+All stochastic components of the library (synthetic trace generators, the
+disk model's position-dependent service times) draw from numpy Generators
+created here, so every experiment is reproducible from a single integer
+seed.  ``spawn`` derives independent child streams for subsystems without
+the children's draws interfering with each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed (or an existing generator) into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators."""
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

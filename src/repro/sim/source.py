@@ -1,0 +1,74 @@
+"""Workload sources: feed arrival streams into the simulation.
+
+A :class:`WorkloadSource` replays a :class:`~repro.core.workload.Workload`
+into a sink (normally a :class:`~repro.server.driver.DeviceDriver`),
+creating one :class:`~repro.core.request.Request` per arrival.  Arrivals
+are injected lazily — one pending event at a time — so memory stays O(1)
+in the trace length beyond the trace itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..core.request import Request
+from ..core.workload import Workload
+from .engine import Simulator
+from .events import PRIORITY_ARRIVAL
+
+
+class RequestSink(Protocol):
+    """Anything that accepts arriving requests (drivers, schedulers)."""
+
+    def on_arrival(self, request: Request) -> None: ...
+
+
+class WorkloadSource:
+    """Replays a workload's arrivals into a sink at their trace instants."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workload: Workload,
+        sink: RequestSink,
+        client_id: int = 0,
+        on_request: Callable[[Request], None] | None = None,
+    ):
+        self.sim = sim
+        self.workload = workload
+        self.sink = sink
+        self.client_id = client_id
+        self.on_request = on_request
+        self._arrivals = workload.arrivals
+        self._next = 0
+        self.requests: list[Request] = []
+
+    def start(self) -> None:
+        """Arm the source; call before ``sim.run()``."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self._next >= self._arrivals.size:
+            return
+        t = float(self._arrivals[self._next])
+        self.sim.schedule(t, self._fire, priority=PRIORITY_ARRIVAL)
+
+    def _fire(self) -> None:
+        index = self._next
+        request = Request(
+            arrival=float(self._arrivals[index]),
+            index=index,
+            client_id=self.client_id,
+        )
+        self.requests.append(request)
+        self._next += 1
+        # Schedule the next arrival *before* delivering this one so a sink
+        # that drains the queue synchronously cannot starve the source.
+        self._schedule_next()
+        if self.on_request is not None:
+            self.on_request(request)
+        self.sink.on_arrival(request)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= self._arrivals.size

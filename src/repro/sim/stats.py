@@ -1,0 +1,168 @@
+"""Statistics collection for simulations.
+
+Provides numerically-stable online moments (Welford), response-time
+collectors with CDF/percentile/histogram views (the shapes the paper's
+Figures 4-6 report), and a rate recorder for arrival/completion time
+series (Figure 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import SimulationError
+
+
+class OnlineStats:
+    """Streaming count/mean/variance/min/max (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def variance(self) -> float:
+        """Population variance; 0 for fewer than two samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine two streams (parallel Welford merge)."""
+        merged = OnlineStats()
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other.mean - self.mean
+        merged.mean = self.mean + delta * other.count / merged.count
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self.count * other.count / merged.count
+        )
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+
+class ResponseTimeCollector:
+    """Accumulates response-time samples and reports distribution views."""
+
+    def __init__(self, name: str = "all"):
+        self.name = name
+        self._samples: list[float] = []
+        self.stats = OnlineStats()
+
+    def add(self, response_time: float) -> None:
+        if response_time < 0:
+            raise SimulationError(
+                f"negative response time {response_time} in {self.name}"
+            )
+        self._samples.append(response_time)
+        self.stats.add(response_time)
+
+    def extend(self, response_times: Sequence[float]) -> None:
+        for value in response_times:
+            self.add(float(value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> np.ndarray:
+        return np.asarray(self._samples)
+
+    def fraction_within(self, bound: float) -> float:
+        """Fraction of samples ``<= bound`` (deadline compliance)."""
+        if not self._samples:
+            return 1.0
+        return float(np.count_nonzero(self.samples <= bound + 1e-12)) / len(self)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (``p`` in [0, 100])."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self.samples, p))
+
+    def cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF: sorted samples and cumulative fractions."""
+        if not self._samples:
+            return np.array([]), np.array([])
+        xs = np.sort(self.samples)
+        ys = np.arange(1, xs.size + 1) / xs.size
+        return xs, ys
+
+    def binned_fractions(self, edges: Sequence[float]) -> dict[str, float]:
+        """Fractions in the paper's Figure 6 style bins.
+
+        ``edges=[a, b, c]`` yields keys ``<=a``, ``<=b``, ``<=c``, ``>c``
+        with *cumulative* fractions for the ``<=`` bins and the residual
+        tail mass for ``>c`` — exactly how Figure 6's bars read.
+        """
+        result: dict[str, float] = {}
+        for edge in edges:
+            result[f"<={edge:g}"] = self.fraction_within(edge)
+        last = edges[-1] if len(edges) else 0.0
+        result[f">{last:g}"] = 1.0 - self.fraction_within(last)
+        return result
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.stats.count,
+            "mean": self.stats.mean,
+            "std": self.stats.std,
+            "min": self.stats.min if self.stats.count else 0.0,
+            "max": self.stats.max if self.stats.count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class RateRecorder:
+    """Counts events into fixed-width time bins (rate time series)."""
+
+    def __init__(self, bin_width: float = 0.1):
+        if bin_width <= 0:
+            raise SimulationError(f"bin_width must be positive, got {bin_width}")
+        self.bin_width = bin_width
+        self._counts: dict[int, int] = {}
+
+    def record(self, time: float) -> None:
+        self._counts[int(time / self.bin_width)] = (
+            self._counts.get(int(time / self.bin_width), 0) + 1
+        )
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(bin_starts, rates in events/second), dense from bin 0."""
+        if not self._counts:
+            return np.array([]), np.array([])
+        n_bins = max(self._counts) + 1
+        counts = np.zeros(n_bins)
+        for idx, c in self._counts.items():
+            counts[idx] = c
+        starts = np.arange(n_bins) * self.bin_width
+        return starts, counts / self.bin_width
+
+    def peak_rate(self) -> float:
+        _, rates = self.series()
+        return float(rates.max()) if rates.size else 0.0

@@ -1,0 +1,123 @@
+"""Request-lifecycle tracing for simulations.
+
+Debugging a scheduling anomaly needs the *sequence of decisions*, not
+just the final statistics.  :class:`LifecycleTracer` wraps any scheduler
+and records one event per transition —
+
+```
+ARRIVE   t=1.2340  req 17  -> PRIMARY
+DISPATCH t=1.2510  req 17
+COMPLETE t=1.2610  req 17  response 27.0 ms
+```
+
+— into a bounded in-memory log that can be filtered per request, dumped
+as text, or asserted on in tests (the Miser test suite uses it to check
+slack-gated dispatch orders).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from ..core.request import Request
+from ..exceptions import ConfigurationError
+from ..sched.base import Scheduler
+from .engine import Simulator
+
+
+class Phase(enum.Enum):
+    ARRIVE = "ARRIVE"
+    DISPATCH = "DISPATCH"
+    COMPLETE = "COMPLETE"
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One recorded transition."""
+
+    phase: Phase
+    time: float
+    request_index: int
+    client_id: int
+    qos_class: str
+
+    def format(self) -> str:
+        return (
+            f"{self.phase.value:<8} t={self.time:.4f}  "
+            f"req {self.request_index} (client {self.client_id}, "
+            f"{self.qos_class})"
+        )
+
+
+class LifecycleTracer(Scheduler):
+    """Transparent scheduler wrapper that logs every transition.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine (for timestamps).
+    inner:
+        The scheduler whose decisions are being traced.
+    capacity:
+        Maximum events retained (oldest evicted first).
+    """
+
+    name = "traced"
+
+    def __init__(self, sim: Simulator, inner: Scheduler, capacity: int = 100_000):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.inner = inner
+        self.events: deque[LifecycleEvent] = deque(maxlen=capacity)
+
+    def _record(self, phase: Phase, request: Request) -> None:
+        self.events.append(
+            LifecycleEvent(
+                phase=phase,
+                time=self.sim.now,
+                request_index=request.index,
+                client_id=request.client_id,
+                qos_class=request.qos_class.name,
+            )
+        )
+
+    # Scheduler interface -------------------------------------------------
+
+    def on_arrival(self, request: Request) -> None:
+        self.inner.on_arrival(request)
+        self._record(Phase.ARRIVE, request)  # after: class is assigned
+
+    def select(self, now: float) -> Request | None:
+        request = self.inner.select(now)
+        if request is not None:
+            self._record(Phase.DISPATCH, request)
+        return request
+
+    def on_completion(self, request: Request) -> None:
+        self._record(Phase.COMPLETE, request)
+        self.inner.on_completion(request)
+
+    def pending(self) -> int:
+        return self.inner.pending()
+
+    # Inspection -----------------------------------------------------------
+
+    def for_request(self, index: int) -> list[LifecycleEvent]:
+        """All events of one request, in order."""
+        return [e for e in self.events if e.request_index == index]
+
+    def dispatch_order(self) -> list[int]:
+        """Request indices in the order they were dispatched."""
+        return [
+            e.request_index for e in self.events if e.phase is Phase.DISPATCH
+        ]
+
+    def to_text(self, limit: int | None = None) -> str:
+        """The log as readable lines (most recent ``limit``)."""
+        events = list(self.events)
+        if limit is not None:
+            events = events[-limit:]
+        return "\n".join(e.format() for e in events)

@@ -1,0 +1,244 @@
+"""Multi-tenant shaped server: several clients on one device.
+
+This is the paper's deployment setting (Sections 1, 2.2, 4.4) assembled
+end to end: every client brings a workload and a ``(fraction, delta)``
+QoS target; the provider
+
+1. profiles each client (``Cmin_i`` via the capacity planner),
+2. provisions one server of ``sum(Cmin_i) + delta_C`` — accurate by the
+   Figure 7/8 consolidation result,
+3. shapes each client's stream with its *own* RTT classifier, and
+4. schedules guaranteed requests with a pClock flow per client (burst
+   allowance = the client's ``maxQ1``, rate = ``Cmin_i``) and overflow
+   requests best-effort behind them.
+
+The pClock tags give per-client isolation: a tenant that floods beyond
+its plan only pushes its own overflow class out — conforming tenants
+keep their deadlines (asserted in the test suite and the
+``shared_server_isolation`` example).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from .core.capacity import CapacityPlanner
+from .core.request import QoSClass, Request
+from .core.workload import Workload
+from .exceptions import ConfigurationError
+from .sched.base import Scheduler
+from .sched.classifier import OnlineRTTClassifier
+from .sched.pclock import FlowSLA, PClockScheduler, feasible
+from .server.constant_rate import constant_rate_server
+from .server.driver import DeviceDriver
+from .sim.engine import Simulator
+from .sim.source import WorkloadSource
+from .sim.stats import ResponseTimeCollector
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One client: a workload plus its QoS target."""
+
+    workload: Workload
+    fraction: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fraction <= 1:
+            raise ConfigurationError(f"fraction must be in (0,1], got {self.fraction}")
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Measured per-tenant outcome."""
+
+    name: str
+    cmin: float
+    delta: float
+    fraction: float
+    primary: ResponseTimeCollector
+    overflow: ResponseTimeCollector
+    primary_misses: int
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.primary) + len(self.overflow)
+
+    @property
+    def guaranteed_fraction_served(self) -> float:
+        """Share of the tenant's requests that were classified primary
+        *and* met the deadline."""
+        if self.n_requests == 0:
+            return 1.0
+        met = len(self.primary) - self.primary_misses
+        return met / self.n_requests
+
+
+class _TenantShapingScheduler(Scheduler):
+    """Per-tenant RTT classification feeding a shared pClock."""
+
+    name = "tenant-pclock"
+
+    def __init__(
+        self,
+        classifiers: dict[int, OnlineRTTClassifier],
+        pclock: PClockScheduler,
+    ):
+        self.classifiers = classifiers
+        self.pclock = pclock
+
+    def on_arrival(self, request: Request) -> None:
+        classifier = self.classifiers[request.client_id]
+        qos = classifier.classify(request)
+        deadline = request.deadline  # set by classify for primaries
+        if qos is QoSClass.PRIMARY:
+            self.pclock.on_arrival(request)
+            # pClock re-tags; keep the stricter of SLA tag and RTT stamp.
+            if request.deadline is None or (
+                deadline is not None and deadline < request.deadline
+            ):
+                request.deadline = deadline
+        else:
+            # Overflow rides best-effort: unknown flow id path.
+            original = request.client_id
+            request.client_id = -1 - original  # guaranteed-unknown id
+            self.pclock.on_arrival(request)
+            request.client_id = original
+
+    def select(self, now: float) -> Request | None:
+        return self.pclock.select(now)
+
+    def on_completion(self, request: Request) -> None:
+        self.classifiers[request.client_id].on_completion(request)
+
+    def pending(self) -> int:
+        return self.pclock.pending()
+
+
+@dataclass(frozen=True)
+class SharedServerResult:
+    """Outcome of a multi-tenant run."""
+
+    total_capacity: float
+    reports: dict  # name -> TenantReport
+    feasible: bool
+
+    def report(self, name: str) -> TenantReport:
+        return self.reports[name]
+
+
+class SharedServer:
+    """Provision and simulate one server for several shaped tenants.
+
+    Parameters
+    ----------
+    tenants:
+        The client mix.
+    delta_c:
+        Extra capacity for the overflow classes; defaults to
+        ``1 / min(delta_i)`` (the paper's rule applied to the strictest
+        tenant).
+    headroom:
+        Multiplier on the summed plans (1.0 = exactly the additive
+        estimate the consolidation experiments validate).
+    """
+
+    def __init__(
+        self,
+        tenants: list[Tenant],
+        delta_c: float | None = None,
+        headroom: float = 1.0,
+    ):
+        if not tenants:
+            raise ConfigurationError("at least one tenant is required")
+        if headroom < 1.0:
+            raise ConfigurationError(f"headroom must be >= 1, got {headroom}")
+        self.tenants = list(tenants)
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"tenant names must be unique: {names}")
+        self.plans = {
+            t.name: CapacityPlanner(t.workload, t.delta).min_capacity(t.fraction)
+            for t in tenants
+        }
+        strictest = min(t.delta for t in tenants)
+        self.delta_c = delta_c if delta_c is not None else 1.0 / strictest
+        self.total_capacity = headroom * sum(self.plans.values()) + self.delta_c
+        logger.info(
+            "provisioned %.0f IOPS for %d tenants (plans: %s)",
+            self.total_capacity, len(tenants),
+            {name: round(c) for name, c in self.plans.items()},
+        )
+
+    def flow_slas(self) -> dict[int, FlowSLA]:
+        """pClock SLA per tenant: rate = plan, burst = maxQ1."""
+        slas = {}
+        for client_id, tenant in enumerate(self.tenants):
+            cmin = self.plans[tenant.name]
+            slas[client_id] = FlowSLA(
+                sigma=max(1.0, cmin * tenant.delta),
+                rho=cmin,
+                delta=tenant.delta,
+            )
+        return slas
+
+    def run(self, overload: dict[str, float] | None = None) -> SharedServerResult:
+        """Simulate the mix; ``overload`` scales named tenants' arrival
+        rates (e.g. ``{"mail": 2.0}`` doubles mail's traffic) to study
+        isolation against misbehaving clients."""
+        overload = overload or {}
+        sim = Simulator()
+        slas = self.flow_slas()
+        classifiers = {
+            client_id: OnlineRTTClassifier(self.plans[t.name], t.delta)
+            for client_id, t in enumerate(self.tenants)
+        }
+        scheduler = _TenantShapingScheduler(classifiers, PClockScheduler(slas))
+        server = constant_rate_server(sim, self.total_capacity, "shared")
+        driver = DeviceDriver(sim, server, scheduler)
+        for client_id, tenant in enumerate(self.tenants):
+            workload = tenant.workload
+            factor = overload.get(tenant.name, 1.0)
+            if factor != 1.0:
+                workload = workload.scale_rate(factor)
+            WorkloadSource(sim, workload, driver, client_id=client_id).start()
+        sim.run()
+
+        reports = {}
+        for client_id, tenant in enumerate(self.tenants):
+            primary = ResponseTimeCollector(f"{tenant.name}.Q1")
+            overflow = ResponseTimeCollector(f"{tenant.name}.Q2")
+            misses = 0
+            for request in driver.completed:
+                if request.client_id != client_id:
+                    continue
+                if request.qos_class is QoSClass.PRIMARY:
+                    primary.add(request.response_time)
+                    if not request.met_deadline:
+                        misses += 1
+                else:
+                    overflow.add(request.response_time)
+            reports[tenant.name] = TenantReport(
+                name=tenant.name,
+                cmin=self.plans[tenant.name],
+                delta=tenant.delta,
+                fraction=tenant.fraction,
+                primary=primary,
+                overflow=overflow,
+                primary_misses=misses,
+            )
+        return SharedServerResult(
+            total_capacity=self.total_capacity,
+            reports=reports,
+            feasible=feasible(slas, self.total_capacity),
+        )

@@ -1,0 +1,20 @@
+"""Trace parsing (SPC / HP formats) and the synthetic trace library."""
+
+from . import hpl, perturb, spc
+from .formats import TraceRecord, records_to_workload
+from .library import ABBREVIATIONS, DEFAULT_DURATION, WORKLOADS, fintrans, load, openmail, websearch
+
+__all__ = [
+    "hpl",
+    "perturb",
+    "spc",
+    "TraceRecord",
+    "records_to_workload",
+    "ABBREVIATIONS",
+    "DEFAULT_DURATION",
+    "WORKLOADS",
+    "fintrans",
+    "load",
+    "openmail",
+    "websearch",
+]

@@ -1,0 +1,116 @@
+"""Workload perturbations for sensitivity studies.
+
+Calibration and robustness work needs controlled distortions of a trace:
+what happens to ``Cmin`` if arrivals are a little noisier, if load drops
+10%, if requests arrive in aggregated batches?  These helpers produce
+perturbed copies of a workload with one knob each:
+
+* :func:`thin` — keep each request independently with probability ``p``
+  (models load shedding or sampling);
+* :func:`jitter` — add bounded random noise to each arrival instant
+  (models measurement or network jitter);
+* :func:`batch` — quantize arrivals onto a grid (models coalescing
+  drivers or coarse timestamps);
+* :func:`intensify` — superpose an independently thinned copy (models
+  organic load growth that preserves burst structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.workload import Workload
+from ..exceptions import ConfigurationError
+from ..sim.rng import make_rng
+
+
+def thin(
+    workload: Workload,
+    keep_probability: float,
+    seed: int | np.random.Generator | None = 0,
+) -> Workload:
+    """Keep each request independently with probability ``p``."""
+    if not 0.0 < keep_probability <= 1.0:
+        raise ConfigurationError(
+            f"keep_probability must be in (0, 1], got {keep_probability}"
+        )
+    rng = make_rng(seed)
+    mask = rng.random(len(workload)) < keep_probability
+    return Workload(
+        workload.arrivals[mask],
+        name=f"{workload.name}~thin{keep_probability:g}",
+        metadata=workload.metadata,
+    )
+
+
+def jitter(
+    workload: Workload,
+    magnitude: float,
+    seed: int | np.random.Generator | None = 0,
+) -> Workload:
+    """Add uniform noise in ``[-magnitude, +magnitude]`` to each arrival.
+
+    Times are clamped at zero and re-sorted (jitter can reorder nearby
+    requests, as real timestamping does).
+    """
+    if magnitude < 0:
+        raise ConfigurationError(f"magnitude must be >= 0, got {magnitude}")
+    if magnitude == 0 or not len(workload):
+        return Workload(
+            workload.arrivals, name=workload.name, metadata=workload.metadata
+        )
+    rng = make_rng(seed)
+    noisy = workload.arrivals + rng.uniform(
+        -magnitude, magnitude, len(workload)
+    )
+    return Workload(
+        np.sort(np.maximum(0.0, noisy)),
+        name=f"{workload.name}~jit{magnitude:g}",
+        metadata=workload.metadata,
+    )
+
+
+def batch(workload: Workload, grid: float) -> Workload:
+    """Quantize every arrival down to a multiple of ``grid`` seconds."""
+    if grid <= 0:
+        raise ConfigurationError(f"grid must be positive, got {grid}")
+    quantized = np.floor(workload.arrivals / grid) * grid
+    return Workload(
+        quantized,
+        name=f"{workload.name}~grid{grid:g}",
+        metadata=workload.metadata,
+    )
+
+
+def intensify(
+    workload: Workload,
+    factor: float,
+    seed: int | np.random.Generator | None = 0,
+    decorrelate: float = 0.25,
+) -> Workload:
+    """Scale load by ``factor`` >= 1 while preserving burst structure.
+
+    Adds ``factor - 1`` worth of extra traffic by superposing thinned,
+    slightly shifted copies of the original — organic growth, unlike
+    :meth:`Workload.scale_rate` which compresses time.
+    """
+    if factor < 1.0:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    rng = make_rng(seed)
+    result = workload
+    remaining = factor - 1.0
+    copy_index = 0
+    while remaining > 1e-9:
+        share = min(1.0, remaining)
+        extra = thin(workload, share, seed=rng) if share < 1.0 else workload
+        extra = jitter(extra, decorrelate, seed=rng)
+        result = result.merge(extra)
+        remaining -= share
+        copy_index += 1
+        if copy_index > 64:  # pragma: no cover - factor is bounded in practice
+            raise ConfigurationError("factor too large")
+    return Workload(
+        result.arrivals,
+        name=f"{workload.name}~x{factor:g}",
+        metadata=workload.metadata,
+    )

@@ -1,0 +1,43 @@
+"""Synthetic arrival-process generators (trace substitutes)."""
+
+from .bmodel import (
+    bmodel_counts,
+    bmodel_workload,
+    counts_to_arrivals,
+    windowed_bmodel_workload,
+)
+from .calibrate import CalibrationReport, calibration_report, fit_bias
+from .fit import FitReport, FittedModel, fit_workload, validate_fit
+from .composite import (
+    diurnal_rate,
+    episode_bursts,
+    periodic_bursts,
+    spike_train,
+    superpose,
+)
+from .onoff import mmpp2_workload, mmpp_workload, pareto_onoff_workload
+from .poisson import nonhomogeneous_poisson, poisson_workload
+
+__all__ = [
+    "bmodel_counts",
+    "bmodel_workload",
+    "counts_to_arrivals",
+    "windowed_bmodel_workload",
+    "CalibrationReport",
+    "calibration_report",
+    "fit_bias",
+    "FitReport",
+    "FittedModel",
+    "fit_workload",
+    "validate_fit",
+    "diurnal_rate",
+    "episode_bursts",
+    "periodic_bursts",
+    "spike_train",
+    "superpose",
+    "mmpp2_workload",
+    "mmpp_workload",
+    "pareto_onoff_workload",
+    "nonhomogeneous_poisson",
+    "poisson_workload",
+]

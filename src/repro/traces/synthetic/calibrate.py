@@ -1,0 +1,94 @@
+"""Calibration instruments for the synthetic trace library.
+
+The stand-in traces must reproduce the *shape* of the paper's workloads,
+not their exact IOPS.  The shape lives in two observables:
+
+* the **capacity knee**: how steeply ``Cmin`` grows as the guaranteed
+  fraction ``f`` approaches 100% (Table 1's signature), and
+* the **peak-to-mean ratio** at the 100 ms timescale (Figure 2's
+  signature: OpenMail peaks around 4440 IOPS on a 534 IOPS mean).
+
+:func:`calibration_report` measures both for a candidate workload;
+:func:`fit_bias` searches the b-model's burstiness knob for a target knee
+ratio.  The frozen parameters in :mod:`repro.traces.library` were chosen
+with these tools (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...core.capacity import CapacityPlanner
+from ...core.workload import Workload
+from ...exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Shape observables of one workload at one deadline."""
+
+    name: str
+    delta: float
+    mean_rate: float
+    peak_rate_100ms: float
+    peak_to_mean: float
+    cmin_by_fraction: dict
+
+    @property
+    def knee_ratio(self) -> float:
+        """``Cmin(100%) / Cmin(90%)`` — Table 1's headline multiplier."""
+        return self.cmin_by_fraction[1.0] / self.cmin_by_fraction[0.9]
+
+    @property
+    def tail_ratio(self) -> float:
+        """``Cmin(100%) / Cmin(99.9%)`` — cost of the last 0.1%."""
+        return self.cmin_by_fraction[1.0] / self.cmin_by_fraction[0.999]
+
+
+def calibration_report(
+    workload: Workload,
+    delta: float,
+    fractions: tuple[float, ...] = (0.9, 0.95, 0.99, 0.999, 1.0),
+) -> CalibrationReport:
+    """Measure the knee and burstiness observables of ``workload``."""
+    planner = CapacityPlanner(workload, delta)
+    cmin = planner.capacity_curve(list(fractions))
+    return CalibrationReport(
+        name=workload.name,
+        delta=delta,
+        mean_rate=workload.mean_rate,
+        peak_rate_100ms=workload.peak_rate(0.1),
+        peak_to_mean=workload.peak_to_mean(0.1),
+        cmin_by_fraction=cmin,
+    )
+
+
+def fit_bias(
+    make_workload: Callable[[float], Workload],
+    target_knee: float,
+    delta: float,
+    lo: float = 0.55,
+    hi: float = 0.85,
+    iterations: int = 10,
+) -> float:
+    """Bisection search for a b-model bias hitting ``target_knee``.
+
+    ``make_workload(bias)`` must build a candidate workload; the knee
+    ratio is monotone increasing in the bias for fixed everything-else,
+    which makes bisection sound.
+    """
+    if target_knee <= 1.0:
+        raise ConfigurationError(f"target knee must exceed 1, got {target_knee}")
+
+    def knee(bias: float) -> float:
+        planner = CapacityPlanner(make_workload(bias), delta)
+        return planner.min_capacity(1.0) / planner.min_capacity(0.9)
+
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if knee(mid) < target_knee:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

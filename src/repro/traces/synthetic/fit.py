@@ -1,0 +1,227 @@
+"""Fit a synthetic twin to an arbitrary workload.
+
+Real block traces usually cannot be shared (they leak access patterns and
+are licensed); what *can* be shared is a generative model that reproduces
+the trace's capacity-relevant shape.  This module inverts the library
+recipe: given any workload, it measures the observables that matter to
+the shaping framework —
+
+* the mean arrival rate,
+* the capacity curve ``Cmin(f, delta)`` at a reference deadline (the
+  knee), and
+* the coarse-scale peak-to-mean ratio
+
+— and solves for the four-component model's parameters (Poisson floor +
+periodic busy-window train + Pareto batch episodes + giant batch) so the
+twin's curve matches.  The mapping uses the same identities the library
+calibration derived (DESIGN.md §2):
+
+* ``Cmin(0.90)`` ≈ floor + train level (the busy-window height),
+* ``Cmin(1.0) − body`` ≈ ``giant_size / (giant_width + delta)``,
+* the 99–99.9% cells ≈ the episode size spectrum over ``(width + delta)``,
+* the mean rate fixes the train duty once the level is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.capacity import CapacityPlanner
+from ...core.workload import Workload
+from ...exceptions import ConfigurationError
+from ...sim.rng import make_rng, spawn
+from .composite import episode_bursts, periodic_bursts, spike_train
+from .poisson import poisson_workload
+
+#: Fractions measured during fitting.
+FIT_FRACTIONS = (0.90, 0.99, 0.999, 1.0)
+
+
+@dataclass(frozen=True)
+class FittedModel:
+    """A generative synthetic twin of one workload.
+
+    All rates in IOPS, times in seconds.  ``generate`` draws a fresh
+    trace of any duration from the model.
+    """
+
+    name: str
+    delta: float
+    floor_rate: float
+    train_period: float
+    train_rate: float
+    train_width: float
+    episode_rate: float
+    episode_size_min: int
+    episode_size_cap: int
+    episode_width: float
+    giant_size: int
+    giant_width: float
+    #: The observables the fit targeted (for validation reports).
+    target_mean: float
+    target_curve: dict
+
+    def generate(self, duration: float, seed: int = 0) -> Workload:
+        """Draw a trace from the fitted model."""
+        rng = make_rng(seed)
+        r1, r2, r3 = spawn(rng, 3)
+        parts = []
+        if self.floor_rate > 0:
+            parts.append(
+                poisson_workload(self.floor_rate, duration, seed=r1, name="floor")
+            )
+        if self.train_rate > 0 and self.train_width > 0:
+            parts.append(
+                periodic_bursts(
+                    self.train_period,
+                    self.train_rate,
+                    self.train_width,
+                    duration,
+                    phase=0.1,
+                    jitter=0.002,
+                    seed=0,
+                    name="train",
+                )
+            )
+        if self.episode_rate > 0:
+            parts.append(
+                episode_bursts(
+                    self.episode_rate,
+                    duration,
+                    size_min=self.episode_size_min,
+                    size_alpha=1.5,
+                    size_cap=self.episode_size_cap,
+                    width_min=self.episode_width,
+                    width_max=4 * self.episode_width,
+                    seed=r2,
+                    name="episodes",
+                )
+            )
+        if self.giant_size > 0 and duration > 2 * self.giant_width:
+            parts.append(
+                spike_train(
+                    n_spikes=max(1, round(duration / 300.0)),
+                    spike_size=self.giant_size,
+                    spike_width=self.giant_width,
+                    duration=duration,
+                    seed=r3,
+                    name="giant",
+                )
+            )
+        if not parts:
+            raise ConfigurationError("fitted model is empty")
+        first, *rest = parts
+        merged = first.merge(*rest) if rest else first
+        return Workload(merged.arrivals, name=f"{self.name}-twin")
+
+
+def measure(workload: Workload, delta: float) -> tuple[float, dict]:
+    """The observables the fit targets: mean rate and capacity curve."""
+    planner = CapacityPlanner(workload, delta)
+    curve = planner.capacity_curve(list(FIT_FRACTIONS))
+    return workload.mean_rate, curve
+
+
+def fit_workload(
+    workload: Workload,
+    delta: float = 0.010,
+    floor_share: float = 0.2,
+    train_period: float = 0.5,
+) -> FittedModel:
+    """Solve for a synthetic twin of ``workload``.
+
+    Parameters
+    ----------
+    workload:
+        The trace to model (must be non-empty).
+    delta:
+        Reference deadline for the capacity observables.
+    floor_share:
+        Fraction of the mean rate assigned to the Poisson floor.
+    train_period:
+        Busy-window recurrence (use a divisor of 1 s so consolidation
+        self-alignment carries over).
+    """
+    if len(workload) < 100:
+        raise ConfigurationError("need at least 100 requests to fit")
+    if not 0.0 <= floor_share < 1.0:
+        raise ConfigurationError(f"floor_share must be in [0,1), got {floor_share}")
+    mean, curve = measure(workload, delta)
+    c90, c99, c999, c100 = (curve[f] for f in FIT_FRACTIONS)
+
+    floor_rate = floor_share * mean
+    train_rate = max(0.0, c90 - floor_rate)
+
+    # Giant batch: it must reach c100 above the body level on its own.
+    giant_width = 0.01
+    giant_size = max(0, int(round((c100 - c90) * (giant_width + delta))))
+
+    # Episodes: size spectrum between the 99% and 99.9% cells.  Widths
+    # are drawn in [w, 4w]; invert at the midpoint 2w.
+    episode_width = 0.005
+    effective = 2 * episode_width + delta
+    size_min = max(2, int(round((c99 - c90) * effective)))
+    size_cap = max(size_min + 1, int(round((c999 - c90) * effective)))
+    # Episode mass ~6% of requests: enough to consume most of the 10%
+    # drop budget (the additivity condition), not enough to shift c90.
+    mean_size = min(size_cap, size_min * 3)
+    episode_rate = 0.06 * mean / max(1.0, mean_size)
+
+    # Duty from the mean-rate balance.
+    episode_mass = episode_rate * mean_size
+    if train_rate > 0:
+        duty = (mean - floor_rate - episode_mass) / train_rate
+        duty = min(0.92, max(0.05, duty))
+    else:
+        duty = 0.0
+    return FittedModel(
+        name=workload.name,
+        delta=delta,
+        floor_rate=floor_rate,
+        train_period=train_period,
+        train_rate=train_rate,
+        train_width=duty * train_period,
+        episode_rate=episode_rate,
+        episode_size_min=size_min,
+        episode_size_cap=size_cap,
+        episode_width=episode_width,
+        giant_size=giant_size,
+        giant_width=giant_width,
+        target_mean=mean,
+        target_curve=dict(curve),
+    )
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Target-vs-twin observables."""
+
+    target_mean: float
+    twin_mean: float
+    target_curve: dict
+    twin_curve: dict
+
+    def curve_ratio(self, fraction: float) -> float:
+        """twin / target ``Cmin`` at one fraction."""
+        return self.twin_curve[fraction] / self.target_curve[fraction]
+
+    @property
+    def worst_curve_ratio(self) -> float:
+        return max(
+            max(r, 1.0 / r)
+            for r in (self.curve_ratio(f) for f in self.target_curve)
+        )
+
+
+def validate_fit(
+    model: FittedModel, duration: float = 120.0, seed: int = 1
+) -> FitReport:
+    """Generate a twin trace and compare its observables to the target."""
+    twin = model.generate(duration, seed=seed)
+    twin_mean, twin_curve = measure(twin, model.delta)
+    return FitReport(
+        target_mean=model.target_mean,
+        twin_mean=twin_mean,
+        target_curve=dict(model.target_curve),
+        twin_curve=dict(twin_curve),
+    )

@@ -1,0 +1,190 @@
+"""ON/OFF modulated arrival generators (MMPP-2 and Pareto ON/OFF).
+
+Two-state modulation is the classic model for bursty server traffic: the
+source alternates between a quiet state and a burst state, each emitting
+Poisson arrivals at its own rate.
+
+* :func:`mmpp2_workload` — exponential sojourn times (a 2-state Markov-
+  modulated Poisson process).
+* :func:`pareto_onoff_workload` — Pareto-distributed ON durations, the
+  standard construction for long-range-dependent traffic (heavy-tailed
+  bursts are what give storage traces their self-similar character
+  [Leland et al.; Riska & Riedel]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.workload import Workload
+from ...exceptions import ConfigurationError
+from ...sim.rng import make_rng
+
+
+def _emit_poisson(
+    rng: np.random.Generator, start: float, end: float, rate: float
+) -> np.ndarray:
+    if rate <= 0 or end <= start:
+        return np.empty(0)
+    n = rng.poisson(rate * (end - start))
+    return rng.uniform(start, end, n)
+
+
+def mmpp2_workload(
+    rate_off: float,
+    rate_on: float,
+    mean_off: float,
+    mean_on: float,
+    duration: float,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "mmpp2",
+) -> Workload:
+    """Two-state MMPP: Poisson bursts over a Poisson background.
+
+    Parameters
+    ----------
+    rate_off, rate_on:
+        Arrival rates (IOPS) in the quiet and burst states.
+    mean_off, mean_on:
+        Mean sojourn times (seconds) in each state (exponential).
+    """
+    if min(rate_off, rate_on) < 0 or max(rate_off, rate_on) <= 0:
+        raise ConfigurationError("rates must be non-negative, one positive")
+    if mean_off <= 0 or mean_on <= 0 or duration <= 0:
+        raise ConfigurationError("durations must be positive")
+    rng = make_rng(seed)
+    pieces: list[np.ndarray] = []
+    t = 0.0
+    on = False
+    while t < duration:
+        sojourn = float(rng.exponential(mean_on if on else mean_off))
+        end = min(t + sojourn, duration)
+        pieces.append(_emit_poisson(rng, t, end, rate_on if on else rate_off))
+        t = end
+        on = not on
+    arrivals = np.sort(np.concatenate(pieces)) if pieces else np.empty(0)
+    mean_rate = (rate_off * mean_off + rate_on * mean_on) / (mean_off + mean_on)
+    return Workload(
+        arrivals,
+        name=name,
+        metadata={
+            "generator": "mmpp2",
+            "rate_off": rate_off,
+            "rate_on": rate_on,
+            "mean_off": mean_off,
+            "mean_on": mean_on,
+            "duration": duration,
+            "nominal_mean_rate": mean_rate,
+        },
+    )
+
+
+def mmpp_workload(
+    rates: list[float],
+    mean_sojourns: list[float],
+    duration: float,
+    transition: list[list[float]] | None = None,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "mmpp",
+) -> Workload:
+    """General n-state Markov-modulated Poisson process.
+
+    The modulating chain visits state ``i`` for an exponential sojourn of
+    mean ``mean_sojourns[i]``, emitting Poisson arrivals at ``rates[i]``;
+    on leaving, the next state is drawn from row ``i`` of ``transition``
+    (default: uniform over the other states).  ``mmpp2_workload`` is the
+    two-state special case kept for its simpler signature.
+    """
+    n = len(rates)
+    if n < 2:
+        raise ConfigurationError("an MMPP needs at least two states")
+    if len(mean_sojourns) != n:
+        raise ConfigurationError("rates and mean_sojourns must align")
+    if any(r < 0 for r in rates) or all(r == 0 for r in rates):
+        raise ConfigurationError("rates must be non-negative, one positive")
+    if any(m <= 0 for m in mean_sojourns) or duration <= 0:
+        raise ConfigurationError("sojourns and duration must be positive")
+    if transition is None:
+        off_diag = 1.0 / (n - 1)
+        transition = [
+            [0.0 if i == j else off_diag for j in range(n)] for i in range(n)
+        ]
+    matrix = np.asarray(transition, dtype=float)
+    if matrix.shape != (n, n):
+        raise ConfigurationError(f"transition must be {n}x{n}")
+    if not np.allclose(matrix.sum(axis=1), 1.0):
+        raise ConfigurationError("transition rows must sum to 1")
+    if np.any(np.diag(matrix) > 0):
+        raise ConfigurationError(
+            "self-transitions are redundant for exponential sojourns"
+        )
+    rng = make_rng(seed)
+    pieces: list[np.ndarray] = []
+    state = 0
+    t = 0.0
+    while t < duration:
+        sojourn = float(rng.exponential(mean_sojourns[state]))
+        end = min(t + sojourn, duration)
+        pieces.append(_emit_poisson(rng, t, end, rates[state]))
+        t = end
+        state = int(rng.choice(n, p=matrix[state]))
+    arrivals = np.sort(np.concatenate(pieces)) if pieces else np.empty(0)
+    return Workload(
+        arrivals,
+        name=name,
+        metadata={
+            "generator": "mmpp",
+            "n_states": n,
+            "rates": list(rates),
+            "mean_sojourns": list(mean_sojourns),
+            "duration": duration,
+        },
+    )
+
+
+def pareto_onoff_workload(
+    rate_off: float,
+    rate_on: float,
+    mean_off: float,
+    mean_on: float,
+    duration: float,
+    alpha: float = 1.5,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "pareto-onoff",
+) -> Workload:
+    """ON/OFF source with heavy-tailed (Pareto) ON periods.
+
+    ``alpha`` in (1, 2) yields infinite-variance burst lengths and hence
+    long-range-dependent aggregate traffic; OFF periods stay exponential.
+    """
+    if not 1.0 < alpha < 2.0:
+        raise ConfigurationError(f"alpha must be in (1, 2), got {alpha}")
+    if mean_off <= 0 or mean_on <= 0 or duration <= 0:
+        raise ConfigurationError("durations must be positive")
+    rng = make_rng(seed)
+    # Pareto with mean m: scale xm = m * (alpha - 1) / alpha.
+    xm = mean_on * (alpha - 1.0) / alpha
+    pieces: list[np.ndarray] = []
+    t = 0.0
+    on = False
+    while t < duration:
+        if on:
+            sojourn = float(xm * (1.0 + rng.pareto(alpha)))
+        else:
+            sojourn = float(rng.exponential(mean_off))
+        end = min(t + sojourn, duration)
+        pieces.append(_emit_poisson(rng, t, end, rate_on if on else rate_off))
+        t = end
+        on = not on
+    arrivals = np.sort(np.concatenate(pieces)) if pieces else np.empty(0)
+    return Workload(
+        arrivals,
+        name=name,
+        metadata={
+            "generator": "pareto-onoff",
+            "alpha": alpha,
+            "rate_off": rate_off,
+            "rate_on": rate_on,
+            "duration": duration,
+        },
+    )

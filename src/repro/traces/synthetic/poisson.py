@@ -1,0 +1,63 @@
+"""Poisson arrival generator — the smooth baseline.
+
+A homogeneous Poisson process is the least bursty arrival model with a
+given mean rate; it anchors the burstiness spectrum of the synthetic
+suite (the b-model and on/off generators layer burst structure on top).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.workload import Workload
+from ...exceptions import ConfigurationError
+from ...sim.rng import make_rng
+
+
+def poisson_workload(
+    rate: float,
+    duration: float,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "poisson",
+) -> Workload:
+    """Homogeneous Poisson arrivals at ``rate`` IOPS over ``duration`` s."""
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate}")
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    rng = make_rng(seed)
+    n = rng.poisson(rate * duration)
+    arrivals = np.sort(rng.uniform(0.0, duration, n))
+    return Workload(
+        arrivals,
+        name=name,
+        metadata={"generator": "poisson", "rate": rate, "duration": duration},
+    )
+
+
+def nonhomogeneous_poisson(
+    rate_fn,
+    duration: float,
+    rate_max: float,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "nhpp",
+) -> Workload:
+    """Non-homogeneous Poisson arrivals by thinning (Lewis & Shedler).
+
+    ``rate_fn(t)`` gives the instantaneous rate; ``rate_max`` must bound
+    it from above over ``[0, duration]``.
+    """
+    if rate_max <= 0 or duration <= 0:
+        raise ConfigurationError("rate_max and duration must be positive")
+    rng = make_rng(seed)
+    n_candidates = rng.poisson(rate_max * duration)
+    candidates = np.sort(rng.uniform(0.0, duration, n_candidates))
+    rates = np.asarray([rate_fn(t) for t in candidates], dtype=float)
+    if np.any(rates > rate_max + 1e-9):
+        raise ConfigurationError("rate_fn exceeds rate_max; thinning invalid")
+    keep = rng.uniform(0.0, rate_max, candidates.size) < rates
+    return Workload(
+        candidates[keep],
+        name=name,
+        metadata={"generator": "nhpp", "duration": duration},
+    )

@@ -1,0 +1,58 @@
+"""Unit helpers and conventions used throughout the library.
+
+Conventions
+-----------
+* **Time** is measured in *seconds* as ``float`` everywhere in the public
+  API.  The paper quotes response-time bounds in milliseconds; use
+  :data:`MILLISECOND` (or :func:`ms`) to convert.
+* **Capacity** (service rate) is measured in IOPS (requests per second).
+* A server of capacity ``C`` completes one request every ``1 / C`` seconds.
+
+The helpers in this module exist so that experiment code reads like the
+paper ("a response time of 10 ms" becomes ``ms(10)``) instead of a soup of
+magic constants.
+"""
+
+from __future__ import annotations
+
+#: One millisecond expressed in seconds.
+MILLISECOND: float = 1e-3
+
+#: One microsecond expressed in seconds.
+MICROSECOND: float = 1e-6
+
+#: Default numeric tolerance for comparing event times (seconds).
+TIME_EPSILON: float = 1e-9
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds: ``ms(10) == 0.01``."""
+    return value * MILLISECOND
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds: ``us(250) == 0.00025``."""
+    return value * MICROSECOND
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds: ``to_ms(0.01) == 10.0``."""
+    return seconds / MILLISECOND
+
+
+def iops(value: float) -> float:
+    """Identity helper that documents a value as a rate in IOPS."""
+    return float(value)
+
+
+def service_time(capacity_iops: float) -> float:
+    """Per-request service time (seconds) of a constant-rate server.
+
+    Raises
+    ------
+    ValueError
+        If ``capacity_iops`` is not strictly positive.
+    """
+    if capacity_iops <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_iops}")
+    return 1.0 / capacity_iops

@@ -1,0 +1,80 @@
+"""Tests for burstiness metrics."""
+
+import pytest
+
+from repro.analysis.burstiness import (
+    burstiness_summary,
+    hurst_aggregated_variance,
+    hurst_rs,
+    idc_curve,
+    index_of_dispersion,
+)
+from repro.core.workload import Workload
+from repro.exceptions import WorkloadError
+from repro.traces.synthetic.bmodel import bmodel_workload
+from repro.traces.synthetic.poisson import poisson_workload
+
+
+@pytest.fixture(scope="module")
+def poisson():
+    return poisson_workload(200.0, 120.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def selfsimilar():
+    return bmodel_workload(200.0, 120.0, bias=0.8, seed=0)
+
+
+class TestIDC:
+    def test_poisson_near_one(self, poisson):
+        assert index_of_dispersion(poisson, 0.1) == pytest.approx(1.0, abs=0.35)
+
+    def test_bursty_much_larger(self, selfsimilar):
+        assert index_of_dispersion(selfsimilar, 0.1) > 5.0
+
+    def test_deterministic_near_zero(self):
+        w = Workload([i * 0.01 for i in range(5000)])
+        assert index_of_dispersion(w, 0.1) < 0.1
+
+    def test_idc_grows_with_scale_for_lrd(self, selfsimilar):
+        curve = idc_curve(selfsimilar, [0.05, 0.4, 3.2])
+        values = [v for _, v in curve]
+        assert values[0] < values[-1]
+
+    def test_idc_flat_for_poisson(self, poisson):
+        curve = idc_curve(poisson, [0.05, 0.4, 3.2])
+        values = [v for _, v in curve]
+        assert max(values) < 3.0
+
+    def test_too_short(self):
+        with pytest.raises(WorkloadError):
+            index_of_dispersion(Workload([0.01]), 1.0)
+
+
+class TestHurst:
+    def test_poisson_near_half(self, poisson):
+        h = hurst_aggregated_variance(poisson)
+        assert 0.35 < h < 0.65
+
+    def test_selfsimilar_high(self, selfsimilar):
+        h = hurst_aggregated_variance(selfsimilar)
+        assert h > 0.68
+        assert h > hurst_aggregated_variance(poisson_workload(200.0, 120.0, seed=0)) + 0.1
+
+    def test_rs_orders_processes(self, poisson, selfsimilar):
+        assert hurst_rs(selfsimilar) > hurst_rs(poisson)
+
+    def test_rs_too_short(self):
+        with pytest.raises(WorkloadError):
+            hurst_rs(Workload([0.0, 0.1]))
+
+    def test_estimates_clamped(self, selfsimilar):
+        assert 0.0 <= hurst_aggregated_variance(selfsimilar) <= 1.0
+        assert 0.0 <= hurst_rs(selfsimilar) <= 1.0
+
+
+class TestSummary:
+    def test_keys(self, poisson):
+        s = burstiness_summary(poisson)
+        for key in ("mean_rate_iops", "peak_to_mean", "idc_100ms", "hurst_aggvar"):
+            assert key in s

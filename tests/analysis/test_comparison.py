@@ -1,0 +1,55 @@
+"""Tests for the policy comparison harness."""
+
+import pytest
+
+from repro.analysis.comparison import compare_policies, render
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def comparison(request):
+    import numpy as np
+
+    from repro.core.workload import Workload
+
+    gen = np.random.default_rng(12345)
+    floor = gen.uniform(0.0, 20.0, 400)
+    burst = 8.0 + gen.uniform(0.0, 0.4, 300)
+    w = Workload(np.sort(np.concatenate([floor, burst])), name="cmp")
+    return compare_policies(w, delta=0.1, fraction=0.9)
+
+
+class TestComparePolicies:
+    def test_all_policies_run(self, comparison):
+        assert set(comparison.runs) == {"fcfs", "split", "fairqueue", "miser"}
+        total = {len(r.overall) for r in comparison.runs.values()}
+        assert len(total) == 1  # every policy served everything
+
+    def test_same_capacity_everywhere(self, comparison):
+        capacities = {r.total_capacity for r in comparison.runs.values()}
+        assert len(capacities) == 1
+
+    def test_needs_policies(self, comparison):
+        from repro.core.workload import Workload
+
+        with pytest.raises(ConfigurationError):
+            compare_policies(Workload([1.0]), 0.1, policies=())
+
+    def test_ranking_and_winner(self, comparison):
+        ranking = comparison.ranking()
+        assert set(ranking) == set(comparison.runs)
+        assert comparison.winner() == ranking[0]
+        values = [
+            comparison.runs[p].fraction_within() for p in ranking
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_fcfs_never_wins(self, comparison):
+        """The paper's point, as an assertion: the unshaped baseline is
+        never the best policy at the deadline on a bursty workload."""
+        assert comparison.winner() != "fcfs"
+
+    def test_render(self, comparison):
+        text = render(comparison)
+        assert "miser" in text
+        assert "Q1 misses" in text

@@ -1,0 +1,109 @@
+"""Tests for gnuplot export."""
+
+import pytest
+
+from repro.analysis.gnuplot import (
+    export_figure2,
+    export_figure4,
+    export_table1,
+    write_dat,
+)
+from repro.exceptions import ConfigurationError
+from repro.experiments import figure2, figure4, table1
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(duration=15.0)
+
+
+class TestWriteDat:
+    def test_columns_and_header(self, tmp_path):
+        path = write_dat(
+            tmp_path / "x.dat",
+            {"t": [0.0, 1.0], "v": [2.5, 3.5]},
+            comment="hello",
+        )
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# hello"
+        assert lines[1] == "# t v"
+        assert lines[2] == "0 2.5"
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="lengths"):
+            write_dat(tmp_path / "x.dat", {"a": [1], "b": [1, 2]})
+
+    def test_empty_columns(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_dat(tmp_path / "x.dat", {})
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_dat(tmp_path / "deep/nested/x.dat", {"a": [1]})
+        assert path.exists()
+
+
+class TestFigureExports:
+    def test_figure2(self, tmp_path, config):
+        result = figure2.run(config)
+        paths = export_figure2(result, tmp_path / "fig2")
+        names = {p.name for p in paths}
+        assert "fig2_original.dat" in names
+        assert "fig2_primary.dat" in names
+        assert "fig2.gp" in names
+        gp = (tmp_path / "fig2.gp").read_text()
+        assert "plot" in gp and "IOPS" in gp
+
+    def test_figure4(self, tmp_path, config):
+        result = figure4.run(config, deltas=(0.010,))
+        paths = export_figure4(result, tmp_path / "fig4")
+        dats = [p for p in paths if p.suffix == ".dat"]
+        assert len(dats) == 3  # one per workload
+        gp = (tmp_path / "fig4.gp").read_text()
+        assert "logscale" in gp
+        # Data is monotone CDF.
+        body = dats[0].read_text().splitlines()[2:]
+        fractions = [float(line.split()[1]) for line in body]
+        assert fractions == sorted(fractions)
+
+    def test_table1(self, tmp_path, config):
+        result = table1.run(config, deltas=(0.010,), fractions=(0.9, 1.0))
+        paths = export_table1(result, tmp_path / "t1")
+        dats = [p for p in paths if p.suffix == ".dat"]
+        assert len(dats) == 3
+        first = dats[0].read_text()
+        assert "fraction" in first and "cmin_iops" in first
+
+
+class TestRemainingFigureExports:
+    def test_figure6(self, tmp_path, config):
+        from repro.analysis.gnuplot import export_figure6
+        from repro.experiments import figure6
+
+        result = figure6.run(config, fractions=(0.9,))
+        paths = export_figure6(result, tmp_path / "f6")
+        assert (tmp_path / "f6_f90.dat").exists()
+        assert "histogram" in (tmp_path / "f6.gp").read_text()
+
+    def test_figure7(self, tmp_path, config):
+        from repro.analysis.gnuplot import export_figure7
+        from repro.experiments import figure7
+
+        result = figure7.run(
+            config, workload_names=("fintrans",), fractions=(1.0, 0.9),
+            shifts=(1.0,),
+        )
+        paths = export_figure7(result, tmp_path / "f7")
+        body = (tmp_path / "f7_f100.dat").read_text()
+        assert "estimate" in body and "shift1s" in body
+
+    def test_figure8(self, tmp_path, config):
+        from repro.analysis.gnuplot import export_figure8
+        from repro.experiments import figure8
+
+        result = figure8.run(
+            config, pairs=(("websearch", "fintrans"),), fractions=(1.0,)
+        )
+        export_figure8(result, tmp_path / "f8")
+        body = (tmp_path / "f8_f100.dat").read_text()
+        assert "real" in body

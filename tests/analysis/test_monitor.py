@@ -1,0 +1,72 @@
+"""Tests for the online compliance monitor."""
+
+import pytest
+
+from repro.analysis.monitor import ComplianceMonitor
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ComplianceMonitor(delta=0.0, target=0.9)
+        with pytest.raises(ConfigurationError):
+            ComplianceMonitor(delta=0.1, target=0.0)
+        with pytest.raises(ConfigurationError):
+            ComplianceMonitor(delta=0.1, target=0.9, window=0.0)
+
+
+class TestRecording:
+    def test_empty(self):
+        monitor = ComplianceMonitor(delta=0.1, target=0.9)
+        assert monitor.windows() == []
+        assert monitor.overall_fraction == 1.0
+        assert monitor.availability() == 1.0
+
+    def test_window_bucketing_by_arrival(self):
+        monitor = ComplianceMonitor(delta=0.1, target=0.9, window=1.0)
+        monitor.record(arrival=0.5, response_time=0.05)  # window 0, within
+        monitor.record(arrival=0.9, response_time=0.50)  # window 0, miss
+        monitor.record(arrival=2.1, response_time=0.01)  # window 2, within
+        windows = monitor.windows()
+        assert len(windows) == 3  # dense, including the empty window 1
+        assert windows[0].total == 2 and windows[0].within == 1
+        assert windows[1].total == 0
+        assert windows[2].fraction == 1.0
+
+    def test_boundary_inclusive(self):
+        monitor = ComplianceMonitor(delta=0.1, target=0.9)
+        monitor.record(0.0, 0.1)
+        assert monitor.overall_fraction == 1.0
+
+    def test_violations(self):
+        monitor = ComplianceMonitor(delta=0.1, target=0.75, window=1.0)
+        for _ in range(3):
+            monitor.record(0.5, 0.01)
+        monitor.record(0.5, 0.5)  # window 0: 3/4 = 0.75, meets target
+        for _ in range(2):
+            monitor.record(1.5, 0.5)  # window 1: 0/2
+        violations = monitor.violations()
+        assert len(violations) == 1
+        assert violations[0].start == 1.0
+
+    def test_availability(self):
+        monitor = ComplianceMonitor(delta=0.1, target=0.9, window=1.0)
+        monitor.record(0.5, 0.01)  # good window
+        monitor.record(1.5, 0.99)  # bad window
+        assert monitor.availability() == pytest.approx(0.5)
+
+    def test_overall_fraction(self):
+        monitor = ComplianceMonitor(delta=0.1, target=0.9)
+        monitor.record(0.0, 0.05)
+        monitor.record(0.0, 0.50)
+        assert monitor.overall_fraction == pytest.approx(0.5)
+
+    def test_record_requests(self):
+        from repro.core.request import Request
+
+        monitor = ComplianceMonitor(delta=0.1, target=0.9)
+        r = Request(arrival=1.0)
+        r.completion = 1.05
+        monitor.record_requests([r])
+        assert monitor.overall_fraction == 1.0

@@ -1,0 +1,74 @@
+"""Tests for the multiplexing analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.multiplexing import packing_count, render, study
+from repro.core.capacity import CapacityPlanner
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def clients():
+    gen = np.random.default_rng(8)
+    out = []
+    for i, rate in enumerate((30, 50, 20)):
+        arr = np.sort(gen.uniform(0.0, 20.0, rate * 20))
+        out.append(Workload(arr, name=f"c{i}"))
+    return out
+
+
+class TestStudy:
+    def test_needs_two(self, clients):
+        with pytest.raises(ConfigurationError):
+            study(clients[:1], 0.05)
+
+    def test_pairwise_complete(self, clients):
+        result = study(clients, 0.05, 0.9)
+        assert len(result.pairwise) == 3  # C(3, 2)
+        assert set(result.individual) == {"c0", "c1", "c2"}
+
+    def test_individuals_match_planner(self, clients):
+        result = study(clients, 0.05, 0.9)
+        for w in clients:
+            assert result.individual[w.name] == CapacityPlanner(
+                w, 0.05
+            ).min_capacity(0.9)
+
+    def test_whole_mix_uses_all_clients(self, clients):
+        result = study(clients, 0.05, 0.9)
+        assert result.whole_mix.estimate == pytest.approx(
+            sum(result.individual.values())
+        )
+
+    def test_multiplexing_gain_in_range(self, clients):
+        result = study(clients, 0.05, 0.9)
+        assert -0.1 <= result.multiplexing_gain <= 1.0
+
+    def test_worst_pair_error(self, clients):
+        result = study(clients, 0.05, 0.9)
+        errors = [r.relative_error for r in result.pairwise.values()]
+        assert result.worst_pair_error() == max(errors)
+
+    def test_render(self, clients):
+        text = render(study(clients, 0.05, 0.9))
+        assert "Pairwise consolidation" in text
+        assert "multiplexing gain" in text
+
+
+class TestPackingCount:
+    def test_decomposed_packs_at_least_as_many(self, bursty_workload):
+        decomposed = packing_count(bursty_workload, 2000.0, 0.05, 0.9)
+        worst = packing_count(
+            bursty_workload, 2000.0, 0.05, 0.9, worst_case=True
+        )
+        assert decomposed >= worst
+        assert decomposed >= 1
+
+    def test_zero_when_server_too_small(self, bursty_workload):
+        assert packing_count(bursty_workload, 1.0, 0.05, 0.9) == 0
+
+    def test_invalid_capacity(self, bursty_workload):
+        with pytest.raises(ConfigurationError):
+            packing_count(bursty_workload, 0.0, 0.05)

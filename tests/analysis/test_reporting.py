@@ -1,0 +1,78 @@
+"""Tests for text rendering of tables and figures."""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_bars, ascii_cdf, ascii_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Long"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("A")
+        assert "333" in lines[3]
+        # Every row has the same width.
+        assert len({len(line) for line in lines[:1] + lines[2:]}) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.0], [0.123456]])
+        assert "1" in text
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestAsciiSeries:
+    def test_shape(self):
+        text = ascii_series([1, 5, 3, 2], width=10, height=4, label="test")
+        lines = text.splitlines()
+        assert lines[0].startswith("test")
+        assert len(lines) == 1 + 4 + 1  # label + rows + axis
+
+    def test_peak_reported(self):
+        text = ascii_series([1, 42, 3], label="x")
+        assert "42" in text
+
+    def test_downsampling_keeps_peaks(self):
+        data = np.ones(1000)
+        data[500] = 100.0
+        text = ascii_series(data, width=20, height=5)
+        # The single spike must survive max-pooling.
+        assert "#" in text.splitlines()[0]
+
+    def test_empty(self):
+        assert "empty" in ascii_series([], label="z")
+
+
+class TestAsciiCdf:
+    def test_marks_target(self):
+        xs = np.array([0.001, 0.01, 0.1, 1.0])
+        ys = np.array([0.25, 0.5, 0.75, 1.0])
+        text = ascii_cdf(xs, ys, marks=(0.01,))
+        assert "<== target" in text
+        assert "%" in text
+
+    def test_empty(self):
+        assert "empty" in ascii_cdf([], [])
+
+
+class TestAsciiBars:
+    def test_values_shown(self):
+        text = ascii_bars(["fcfs", "miser"], [10.0, 5.0], unit=" ms")
+        assert "fcfs" in text and "miser" in text
+        assert "10 ms" in text
+
+    def test_longest_bar_is_max(self):
+        text = ascii_bars(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_empty(self):
+        assert ascii_bars([], []) == "(no bars)"

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Workload fixtures are small (tens to thousands of requests) so the whole
+suite stays fast; the full-scale reproduction runs live in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.workload import Workload
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def empty_workload():
+    return Workload([], name="empty")
+
+
+@pytest.fixture
+def single_request():
+    return Workload([1.0], name="single")
+
+
+@pytest.fixture
+def toy_workload():
+    """The paper's Figure 3 example: batches of 2, 2, 1 at t = 1, 2, 3."""
+    return Workload.from_counts([1.0, 2.0, 3.0], [2, 2, 1], name="figure3")
+
+
+@pytest.fixture
+def uniform_workload(rng):
+    """100 requests uniformly over 10 seconds."""
+    return Workload(np.sort(rng.uniform(0.0, 10.0, 100)), name="uniform")
+
+
+@pytest.fixture
+def bursty_workload(rng):
+    """A Poisson floor with one dense burst in the middle."""
+    floor = rng.uniform(0.0, 20.0, 400)
+    burst = 8.0 + rng.uniform(0.0, 0.4, 300)
+    return Workload(np.sort(np.concatenate([floor, burst])), name="bursty")
+
+
+def random_workload(seed: int, n: int = 30, horizon: float = 5.0) -> Workload:
+    """Deterministic random workload for parametrized tests."""
+    gen = np.random.default_rng(seed)
+    return Workload(np.sort(np.round(gen.uniform(0.0, horizon, n), 4)))

@@ -1,0 +1,132 @@
+"""Tests for the capacity planner (binary search for Cmin)."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import CapacityPlan, CapacityPlanner, min_capacity
+from repro.core.rtt import decompose
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+
+from ..conftest import random_workload
+
+
+class TestMinCapacity:
+    def test_minimality_and_sufficiency(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        for fraction in (0.8, 0.9, 0.95, 1.0):
+            cmin = planner.min_capacity(fraction)
+            required = planner._required_count(fraction)
+            assert planner.admitted_at(cmin) >= required
+            assert planner.admitted_at(cmin - 1) < required
+
+    def test_monotone_in_fraction(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        caps = [planner.min_capacity(f) for f in (0.5, 0.8, 0.9, 0.99, 1.0)]
+        assert caps == sorted(caps)
+
+    def test_monotone_in_delta(self, bursty_workload):
+        caps = [
+            CapacityPlanner(bursty_workload, d).min_capacity(0.9)
+            for d in (0.01, 0.02, 0.05, 0.1)
+        ]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_full_fraction_admits_everything(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.02)
+        cmin = planner.min_capacity(1.0)
+        result = decompose(bursty_workload, cmin, 0.02)
+        assert result.n_admitted == len(bursty_workload)
+
+    def test_empty_workload(self, empty_workload):
+        planner = CapacityPlanner(empty_workload, 0.1)
+        assert planner.min_capacity(1.0) == 1.0
+
+    def test_single_request(self, single_request):
+        planner = CapacityPlanner(single_request, 0.1)
+        # One request in 100 ms -> 10 IOPS suffices and is minimal.
+        assert planner.min_capacity(1.0) == 10.0
+
+    def test_invalid_fraction(self, uniform_workload):
+        planner = CapacityPlanner(uniform_workload, 0.1)
+        with pytest.raises(ConfigurationError):
+            planner.min_capacity(0.0)
+        with pytest.raises(ConfigurationError):
+            planner.min_capacity(1.5)
+
+    def test_invalid_delta(self, uniform_workload):
+        with pytest.raises(ConfigurationError):
+            CapacityPlanner(uniform_workload, 0.0)
+
+    def test_real_valued_search(self, uniform_workload):
+        planner = CapacityPlanner(
+            uniform_workload, 0.05, integral=False, tolerance=0.01
+        )
+        cmin = planner.min_capacity(0.9)
+        integral = CapacityPlanner(uniform_workload, 0.05).min_capacity(0.9)
+        assert cmin <= integral + 1e-9
+        assert integral - cmin < 1.5
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_workloads_round_trip(self, seed):
+        w = random_workload(seed, n=80, horizon=6.0)
+        planner = CapacityPlanner(w, 0.1)
+        cmin = planner.min_capacity(0.9)
+        frac = decompose(w, cmin, 0.1).fraction_admitted
+        assert frac >= 0.9 - 1e-12
+
+
+class TestCaching:
+    def test_evaluations_are_memoized(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        planner.min_capacity(0.9)
+        n_after_first = len(planner._cache)
+        planner.min_capacity(0.9)
+        assert len(planner._cache) == n_after_first
+
+    def test_capacity_curve_shares_cache(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        curve = planner.capacity_curve([0.8, 0.9, 1.0])
+        assert set(curve) == {0.8, 0.9, 1.0}
+        assert curve[0.8] <= curve[0.9] <= curve[1.0]
+
+
+class TestPlan:
+    def test_default_delta_c(self, bursty_workload):
+        plan = CapacityPlanner(bursty_workload, 0.05).plan(0.9)
+        assert plan.delta_c == pytest.approx(1.0 / 0.05)
+        assert plan.total_capacity == plan.cmin + plan.delta_c
+        assert plan.achieved_fraction >= 0.9
+
+    def test_explicit_delta_c(self, bursty_workload):
+        plan = CapacityPlanner(bursty_workload, 0.05).plan(0.9, delta_c=5.0)
+        assert plan.delta_c == 5.0
+
+    def test_plan_fields(self, bursty_workload):
+        plan = CapacityPlanner(bursty_workload, 0.05).plan(0.95)
+        assert isinstance(plan, CapacityPlan)
+        assert plan.workload_name == "bursty"
+        assert plan.fraction == 0.95
+        assert plan.delta == 0.05
+
+
+class TestConvenienceWrapper:
+    def test_min_capacity_function(self, uniform_workload):
+        direct = min_capacity(uniform_workload, 0.1, 0.9)
+        via_planner = CapacityPlanner(uniform_workload, 0.1).min_capacity(0.9)
+        assert direct == via_planner
+
+
+class TestKneeShape:
+    def test_bursty_workload_has_knee(self, bursty_workload):
+        """The paper's core observation: guaranteeing the last few percent
+        of a bursty workload costs a disproportionate amount of capacity."""
+        planner = CapacityPlanner(bursty_workload, 0.02)
+        curve = planner.capacity_curve([0.7, 1.0])
+        assert curve[1.0] / curve[0.7] > 2.0
+
+    def test_smooth_workload_has_no_knee(self):
+        w = Workload(np.arange(2000) * 0.005)  # perfectly paced, 200 IOPS
+        planner = CapacityPlanner(w, 0.05)
+        curve = planner.capacity_curve([0.9, 1.0])
+        assert curve[1.0] / curve[0.9] < 1.3

@@ -1,0 +1,96 @@
+"""Tests for multi-client consolidation."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import CapacityPlanner
+from repro.core.consolidation import (
+    ConsolidationResult,
+    consolidate,
+    self_consolidation,
+    shifted_merge,
+)
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def two_bursts(rng):
+    a = Workload(np.sort(rng.uniform(0.0, 10.0, 200)), name="a")
+    b = Workload(np.sort(rng.uniform(0.0, 10.0, 200)), name="b")
+    return a, b
+
+
+class TestConsolidate:
+    def test_estimate_is_sum_of_individuals(self, two_bursts):
+        a, b = two_bursts
+        result = consolidate([a, b], 0.05, 0.9)
+        assert result.estimate == pytest.approx(sum(result.individual))
+        assert result.client_names == ("a", "b")
+
+    def test_actual_matches_direct_planning(self, two_bursts):
+        a, b = two_bursts
+        result = consolidate([a, b], 0.05, 0.9)
+        direct = CapacityPlanner(a.merge(b), 0.05).min_capacity(0.9)
+        assert result.actual == direct
+
+    def test_needs_two_workloads(self, two_bursts):
+        with pytest.raises(ConfigurationError, match="two"):
+            consolidate([two_bursts[0]], 0.05)
+
+    def test_custom_merged_stream(self, two_bursts):
+        a, b = two_bursts
+        shifted = consolidate([a, b], 0.05, 0.9, merged=a.merge(b.shift(5.0)))
+        assert isinstance(shifted, ConsolidationResult)
+
+    def test_ratio_and_error(self):
+        result = ConsolidationResult(
+            client_names=("x", "y"),
+            delta=0.01,
+            fraction=0.9,
+            individual=(100.0, 100.0),
+            estimate=200.0,
+            actual=150.0,
+        )
+        assert result.ratio == pytest.approx(0.75)
+        assert result.relative_error == pytest.approx(50.0 / 150.0)
+
+    def test_independent_streams_subadditive_at_full_fraction(self, two_bursts):
+        """Bursts of independent streams rarely align, so the worst-case
+        estimate over-provisions — the premise of Section 4.4."""
+        a, b = two_bursts
+        result = consolidate([a, b], 0.02, 1.0)
+        assert result.actual <= result.estimate
+
+
+class TestShiftedMerge:
+    def test_doubles_request_count(self, uniform_workload):
+        merged = shifted_merge(uniform_workload, 1.0)
+        assert len(merged) == 2 * len(uniform_workload)
+
+    def test_zero_shift_aligns_exactly(self, uniform_workload):
+        merged = shifted_merge(uniform_workload, 0.0)
+        # Perfect alignment: every arrival duplicated.
+        assert np.array_equal(merged.arrivals[::2], uniform_workload.arrivals)
+
+
+class TestSelfConsolidation:
+    def test_estimate_is_double(self, bursty_workload):
+        result = self_consolidation(bursty_workload, 0.05, 0.9, offset=1.0)
+        single = CapacityPlanner(bursty_workload, 0.05).min_capacity(0.9)
+        assert result.estimate == pytest.approx(2.0 * single)
+
+    def test_shifted_self_merge_subadditive_at_100(self, bursty_workload):
+        """A single burst shifted off itself cannot require the doubled
+        worst case."""
+        result = self_consolidation(bursty_workload, 0.02, 1.0, offset=3.0)
+        assert result.ratio < 0.95
+
+    def test_aligned_self_merge_additive(self, bursty_workload):
+        """With no shift, bursts align exactly: the estimate is exact
+        (up to the integer-capacity grid)."""
+        merged = shifted_merge(bursty_workload, 0.0)
+        result = consolidate(
+            [bursty_workload, bursty_workload], 0.02, 1.0, merged=merged
+        )
+        assert result.ratio == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,99 @@
+"""Tests for arrival/service curve machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.curves import ArrivalCurve, ServiceCurve, busy_periods, scl_excess
+from repro.core.workload import Workload
+from repro.exceptions import WorkloadError
+
+
+class TestArrivalCurve:
+    def test_staircase_values(self, toy_workload):
+        curve = ArrivalCurve(toy_workload)
+        assert curve.instants.tolist() == [1.0, 2.0, 3.0]
+        assert curve.cumulative.tolist() == [2, 4, 5]
+
+    def test_call_scalar(self, toy_workload):
+        curve = ArrivalCurve(toy_workload)
+        assert curve(0.5) == 0
+        assert curve(1.0) == 2  # right-continuous: includes the batch at 1
+        assert curve(2.5) == 4
+        assert curve(100.0) == 5
+
+    def test_call_vector(self, toy_workload):
+        curve = ArrivalCurve(toy_workload)
+        values = curve(np.array([0.0, 1.5, 3.0]))
+        assert values.tolist() == [0, 2, 5]
+
+    def test_total(self, toy_workload, empty_workload):
+        assert ArrivalCurve(toy_workload).total == 5
+        assert ArrivalCurve(empty_workload).total == 0
+
+
+class TestServiceCurve:
+    def test_linear(self):
+        sc = ServiceCurve(10.0)
+        assert sc(0.0) == 0.0
+        assert sc(2.0) == 20.0
+
+    def test_negative_time_clamped(self):
+        assert ServiceCurve(10.0)(-1.0) == 0.0
+
+    def test_limit_is_shifted(self):
+        sc = ServiceCurve(10.0)
+        assert sc.limit(1.0, 0.5) == pytest.approx(15.0)
+
+    def test_limit_negative_delta(self):
+        with pytest.raises(WorkloadError):
+            ServiceCurve(10.0).limit(1.0, -0.1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(WorkloadError):
+            ServiceCurve(0.0)
+
+
+class TestSCLExcess:
+    def test_underloaded_never_positive(self, toy_workload):
+        excess = scl_excess(toy_workload, 10.0, 1.0)
+        assert np.all(excess <= 0)
+
+    def test_overload_detected(self):
+        # 5 simultaneous requests, capacity 1, delta 1: SCL(t=1) = 2.
+        w = Workload([1.0] * 5)
+        excess = scl_excess(w, 1.0, 1.0)
+        assert excess.max() == pytest.approx(3.0)
+
+    def test_figure3_instants(self, toy_workload):
+        # C=1, delta=2: SCL(1)=3, SCL(2)=4, SCL(3)=5; A = 2, 4, 5.
+        excess = scl_excess(toy_workload, 1.0, 2.0)
+        assert excess.tolist() == [-1.0, 0.0, 0.0]
+
+
+class TestBusyPeriods:
+    def test_single_request(self, single_request):
+        periods = busy_periods(single_request, 2.0)
+        assert periods == [(1.0, 1.5)]
+
+    def test_back_to_back(self):
+        w = Workload([0.0, 0.1, 0.2])
+        periods = busy_periods(w, 10.0)
+        assert len(periods) == 1
+        assert periods[0][1] == pytest.approx(0.3)
+
+    def test_separated_bursts(self):
+        w = Workload([0.0, 5.0])
+        periods = busy_periods(w, 1.0)
+        assert periods == [(0.0, 1.0), (5.0, 6.0)]
+
+    def test_empty(self, empty_workload):
+        assert busy_periods(empty_workload, 1.0) == []
+
+    def test_invalid_capacity(self, toy_workload):
+        with pytest.raises(WorkloadError):
+            busy_periods(toy_workload, 0.0)
+
+    def test_periods_cover_all_arrivals(self, bursty_workload):
+        periods = busy_periods(bursty_workload, 50.0)
+        for t in bursty_workload.arrivals:
+            assert any(s <= t < e + 1e-9 for s, e in periods)

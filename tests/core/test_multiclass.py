@@ -1,0 +1,115 @@
+"""Tests for multi-tier (cascade) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiclass import (
+    TierAssignment,
+    decompose_tiers,
+    plan_and_decompose,
+    plan_tiers,
+)
+from repro.core.rtt import decompose, primary_response_times
+from repro.core.sla import GraduatedSLA
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+
+
+class TestDecomposeTiers:
+    def test_single_tier_equals_rtt(self, bursty_workload):
+        assignment = decompose_tiers(bursty_workload, [(40.0, 0.1)])
+        rtt = decompose(bursty_workload, 40.0, 0.1)
+        assert np.array_equal(assignment.tier_mask(0), rtt.admitted)
+        assert assignment.counts() == [rtt.n_admitted, rtt.n_overflow]
+
+    def test_labels_partition_workload(self, bursty_workload):
+        assignment = decompose_tiers(
+            bursty_workload, [(40.0, 0.05), (20.0, 0.2)]
+        )
+        assert sum(assignment.counts()) == len(bursty_workload)
+        assert set(np.unique(assignment.labels)) <= {0, 1, 2}
+
+    def test_cascade_sees_only_overflow(self, bursty_workload):
+        """Tier 1's sub-stream is exactly RTT's overflow from tier 0."""
+        tiers = [(40.0, 0.05), (20.0, 0.2)]
+        assignment = decompose_tiers(bursty_workload, tiers)
+        stage0 = decompose(bursty_workload, 40.0, 0.05)
+        stage1 = decompose(stage0.overflow_workload(), 20.0, 0.2)
+        assert assignment.counts()[1] == stage1.n_admitted
+
+    def test_each_tier_meets_its_deadline(self, bursty_workload):
+        tiers = [(40.0, 0.05), (20.0, 0.2)]
+        assignment = decompose_tiers(bursty_workload, tiers)
+        for tier, (capacity, delta) in enumerate(tiers):
+            sub = assignment.tier_workload(tier)
+            result = decompose(sub, capacity, delta)
+            # The cascade admitted exactly this set, so a dedicated
+            # server at the tier capacity meets the tier deadline.
+            assert result.n_admitted == len(sub)
+            responses = primary_response_times(result)
+            if responses.size:
+                assert responses.max() <= delta + 1e-9
+
+    def test_tiers_must_be_ordered(self, bursty_workload):
+        with pytest.raises(ConfigurationError, match="ordered"):
+            decompose_tiers(bursty_workload, [(40.0, 0.2), (20.0, 0.05)])
+
+    def test_empty_tier_list(self, bursty_workload):
+        with pytest.raises(ConfigurationError, match="tier"):
+            decompose_tiers(bursty_workload, [])
+
+    def test_empty_workload(self, empty_workload):
+        assignment = decompose_tiers(empty_workload, [(10.0, 0.1)])
+        assert assignment.counts() == [0, 0]
+
+    def test_tier_workload_names(self, bursty_workload):
+        assignment = decompose_tiers(bursty_workload, [(40.0, 0.1)])
+        assert assignment.tier_workload(0).name.endswith(".tier0")
+
+
+class TestPlanTiers:
+    def test_two_tier_sla(self, bursty_workload):
+        sla = GraduatedSLA([(0.8, 0.05), (0.95, 0.2)])
+        tiers, assignment = plan_and_decompose(bursty_workload, sla)
+        fractions = assignment.cumulative_fractions()
+        assert fractions[0] >= 0.8
+        assert fractions[1] >= 0.95
+        assert [delta for _, delta in tiers] == [0.05, 0.2]
+
+    def test_full_coverage_tier(self, bursty_workload):
+        sla = GraduatedSLA([(0.8, 0.05), (1.0, 0.5)])
+        tiers, assignment = plan_and_decompose(bursty_workload, sla)
+        assert assignment.cumulative_fractions()[-1] == pytest.approx(1.0)
+        assert assignment.counts()[-1] == 0  # nothing left best-effort
+
+    def test_capacities_minimal_at_first_tier(self, bursty_workload):
+        """Tier 0's planned capacity equals the single-tier Cmin."""
+        from repro.core.capacity import CapacityPlanner
+
+        sla = GraduatedSLA([(0.8, 0.05), (0.95, 0.2)])
+        tiers = plan_tiers(bursty_workload, sla)
+        assert tiers[0][0] == CapacityPlanner(
+            bursty_workload, 0.05
+        ).min_capacity(0.8)
+
+    def test_later_tier_cheaper_than_from_scratch(self, bursty_workload):
+        """The cascade's second tier serves only the overflow, so it needs
+        less capacity than guaranteeing 95% @ its deadline outright."""
+        from repro.core.capacity import CapacityPlanner
+
+        sla = GraduatedSLA([(0.8, 0.05), (0.95, 0.2)])
+        tiers = plan_tiers(bursty_workload, sla)
+        outright = CapacityPlanner(bursty_workload, 0.2).min_capacity(0.95)
+        assert tiers[1][0] <= outright
+
+    def test_redundant_tier_gets_token_capacity(self, bursty_workload):
+        # Second tier adds no extra coverage requirement.
+        sla = GraduatedSLA([(0.9, 0.05), (0.90001, 0.2)])
+        tiers = plan_tiers(bursty_workload, sla)
+        assert tiers[1][0] <= tiers[0][0]
+
+    def test_assignment_type(self, bursty_workload):
+        sla = GraduatedSLA([(0.9, 0.1)])
+        _, assignment = plan_and_decompose(bursty_workload, sla)
+        assert isinstance(assignment, TierAssignment)
+        assert assignment.n_tiers == 1

@@ -1,0 +1,70 @@
+"""Tests for SLA pricing."""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import PricedTier, burstiness_discount, price_menu, reserve_cost
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+
+
+class TestReserveCost:
+    def test_includes_surplus(self, bursty_workload):
+        from repro.core.capacity import CapacityPlanner
+
+        cmin = CapacityPlanner(bursty_workload, 0.05).min_capacity(0.9)
+        assert reserve_cost(bursty_workload, 0.9, 0.05) == pytest.approx(
+            cmin + 20.0
+        )
+
+    def test_custom_surplus(self, bursty_workload):
+        a = reserve_cost(bursty_workload, 0.9, 0.05, delta_c=0.0)
+        b = reserve_cost(bursty_workload, 0.9, 0.05, delta_c=5.0)
+        assert b == a + 5.0
+
+
+class TestPriceMenu:
+    def test_anchored_at_worst_case(self, bursty_workload):
+        menu = price_menu(bursty_workload, 0.05)
+        by_fraction = {t.fraction: t for t in menu}
+        assert by_fraction[1.0].relative_cost == pytest.approx(1.0)
+        assert by_fraction[1.0].discount == pytest.approx(0.0)
+
+    def test_monotone_pricing(self, bursty_workload):
+        menu = price_menu(bursty_workload, 0.05)
+        costs = [t.relative_cost for t in menu]
+        assert costs == sorted(costs)
+
+    def test_lower_tiers_discounted(self, bursty_workload):
+        menu = price_menu(bursty_workload, 0.05)
+        ninety = next(t for t in menu if t.fraction == 0.90)
+        assert ninety.discount > 0.2  # bursty workload: sizeable saving
+
+    def test_anchor_added_if_missing(self, bursty_workload):
+        menu = price_menu(bursty_workload, 0.05, fractions=(0.9, 0.95))
+        assert any(t.fraction == 1.0 for t in menu)
+
+    def test_tier_type(self, bursty_workload):
+        menu = price_menu(bursty_workload, 0.05)
+        assert all(isinstance(t, PricedTier) for t in menu)
+
+
+class TestBurstinessDiscount:
+    def test_smooth_client_rewarded(self, bursty_workload):
+        """A perfectly paced client is cheaper to host than the bursty
+        reference — the paper's concessional-terms story."""
+        paced = Workload(
+            np.arange(2000) * 0.01, name="paced"
+        )  # exactly 100 IOPS
+        discount = burstiness_discount(paced, bursty_workload, 0.9, 0.05)
+        assert discount > 0.2
+
+    def test_self_reference_zero(self, bursty_workload):
+        discount = burstiness_discount(
+            bursty_workload, bursty_workload, 0.9, 0.05
+        )
+        assert discount == pytest.approx(0.0, abs=0.02)
+
+    def test_validation(self, bursty_workload, empty_workload):
+        with pytest.raises(ConfigurationError):
+            burstiness_discount(empty_workload, bursty_workload, 0.9, 0.05)

@@ -1,0 +1,85 @@
+"""Tests for repro.core.request."""
+
+import pytest
+
+from repro.core.request import IOKind, QoSClass, Request
+
+
+class TestIOKind:
+    @pytest.mark.parametrize("token", ["r", "R", "Read", " r "])
+    def test_parse_read(self, token):
+        assert IOKind.parse(token) is IOKind.READ
+
+    @pytest.mark.parametrize("token", ["w", "W", "Write"])
+    def test_parse_write(self, token):
+        assert IOKind.parse(token) is IOKind.WRITE
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValueError, match="opcode"):
+            IOKind.parse("x")
+
+
+class TestRequest:
+    def test_defaults(self):
+        r = Request(arrival=1.0)
+        assert r.qos_class is QoSClass.UNCLASSIFIED
+        assert r.deadline is None
+        assert r.completion is None
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Request(arrival=-0.1)
+
+    def test_response_time(self):
+        r = Request(arrival=1.0)
+        r.completion = 1.25
+        assert r.response_time == pytest.approx(0.25)
+
+    def test_response_time_before_completion(self):
+        r = Request(arrival=1.0)
+        with pytest.raises(ValueError, match="not completed"):
+            _ = r.response_time
+
+    def test_classify_primary_sets_deadline(self):
+        r = Request(arrival=2.0)
+        r.classify(QoSClass.PRIMARY, delta=0.01)
+        assert r.deadline == pytest.approx(2.01)
+        assert r.is_primary and not r.is_overflow
+
+    def test_classify_primary_requires_delta(self):
+        r = Request(arrival=2.0)
+        with pytest.raises(ValueError, match="delta"):
+            r.classify(QoSClass.PRIMARY)
+
+    def test_classify_overflow_clears_deadline(self):
+        r = Request(arrival=2.0)
+        r.classify(QoSClass.PRIMARY, delta=0.01)
+        r.classify(QoSClass.OVERFLOW)
+        assert r.deadline is None
+        assert r.is_overflow
+
+    def test_met_deadline_true(self):
+        r = Request(arrival=0.0)
+        r.classify(QoSClass.PRIMARY, delta=0.01)
+        r.completion = 0.01
+        assert r.met_deadline
+
+    def test_met_deadline_false(self):
+        r = Request(arrival=0.0)
+        r.classify(QoSClass.PRIMARY, delta=0.01)
+        r.completion = 0.0101
+        assert not r.met_deadline
+
+    def test_met_deadline_incomplete_primary(self):
+        r = Request(arrival=0.0)
+        r.classify(QoSClass.PRIMARY, delta=0.01)
+        assert not r.met_deadline
+
+    def test_no_deadline_trivially_met(self):
+        r = Request(arrival=0.0)
+        assert r.met_deadline
+
+    def test_qos_class_ordering(self):
+        # IntEnum values are stable: used as fair-queue flow ids.
+        assert int(QoSClass.PRIMARY) == 1
+        assert int(QoSClass.OVERFLOW) == 2

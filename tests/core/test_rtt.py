@@ -1,0 +1,230 @@
+"""Tests for RTT decomposition: correctness, optimality, model agreement."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import max_admissible_bruteforce
+from repro.core.rtt import (
+    count_admitted,
+    decompose,
+    decompose_exact,
+    decompose_fluid,
+    primary_response_times,
+)
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+
+from ..conftest import random_workload
+
+
+class TestFigure3Example:
+    """The paper's worked example: C=1, delta=2, batches (2,2,1) at t=1,2,3.
+
+    The text argues exactly one request must miss its deadline for this
+    input (Figure 3 b/c shows two valid single-drop... per-busy-period
+    choices); RTT admits 4 of 5.
+    """
+
+    def test_admits_four(self, toy_workload):
+        result = decompose(toy_workload, 1.0, 2.0)
+        assert result.n_admitted == 4
+        assert result.n_overflow == 1
+
+    def test_matches_offline_optimum(self, toy_workload):
+        opt = max_admissible_bruteforce(toy_workload, 1.0, 2.0, discrete=True)
+        assert decompose(toy_workload, 1.0, 2.0).n_admitted == opt
+
+    def test_admitted_meet_deadline(self, toy_workload):
+        result = decompose(toy_workload, 1.0, 2.0)
+        responses = primary_response_times(result)
+        assert np.all(responses <= 2.0 + 1e-9)
+
+    def test_fluid_agrees(self, toy_workload):
+        assert decompose_fluid(toy_workload, 1.0, 2.0).n_admitted == 4
+
+    def test_exact_agrees(self, toy_workload):
+        result = decompose_exact(toy_workload, 1, Fraction(2))
+        assert result.n_admitted == 4
+
+
+class TestBasicBehaviour:
+    def test_empty_workload(self, empty_workload):
+        result = decompose(empty_workload, 10.0, 0.1)
+        assert result.n_requests == 0
+        assert result.fraction_admitted == 1.0
+
+    def test_single_request_always_admitted(self, single_request):
+        result = decompose(single_request, 10.0, 0.1)
+        assert result.n_admitted == 1
+
+    def test_all_admitted_when_capacity_huge(self, uniform_workload):
+        result = decompose(uniform_workload, 1e6, 0.01)
+        assert result.n_admitted == len(uniform_workload)
+
+    def test_tiny_capacity_rejects_excess(self):
+        # 10 simultaneous arrivals, room for exactly C*delta = 2.
+        w = Workload([1.0] * 10)
+        result = decompose(w, 2.0, 1.0)
+        assert result.n_admitted == 2
+        # The first two in trace order are the admitted ones.
+        assert result.admitted.tolist() == [True] * 2 + [False] * 8
+
+    def test_capacity_below_one_per_deadline(self):
+        # C*delta < 1: not even one request fits in the window.
+        w = Workload([1.0, 2.0])
+        result = decompose(w, 0.5, 1.0)
+        assert result.n_admitted == 0
+
+    def test_validation(self, toy_workload):
+        with pytest.raises(ConfigurationError):
+            decompose(toy_workload, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            decompose(toy_workload, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            decompose_fluid(toy_workload, -1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            decompose_exact(toy_workload, 0, 1)
+
+    def test_result_views(self, bursty_workload):
+        result = decompose(bursty_workload, 50.0, 0.1)
+        q1 = result.primary_workload()
+        q2 = result.overflow_workload()
+        assert len(q1) == result.n_admitted
+        assert len(q2) == result.n_overflow
+        assert len(q1) + len(q2) == len(bursty_workload)
+        assert q1.name.endswith(".Q1")
+        merged = np.sort(np.concatenate([q1.arrivals, q2.arrivals]))
+        assert np.array_equal(merged, bursty_workload.arrivals)
+
+    def test_max_queue_property(self, toy_workload):
+        result = decompose(toy_workload, 3.0, 0.5)
+        assert result.max_queue == pytest.approx(1.5)
+
+    def test_count_admitted_matches_decompose(self, bursty_workload):
+        instants, counts = bursty_workload.arrival_counts()
+        for capacity in (10.0, 40.0, 120.0, 500.0):
+            fast = count_admitted(
+                instants.tolist(), counts.tolist(), capacity, 0.05
+            )
+            assert fast == decompose(bursty_workload, capacity, 0.05).n_admitted
+
+
+class TestDeadlineGuarantee:
+    """Every admitted request finishes within delta on a dedicated server."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_workloads(self, seed):
+        w = random_workload(seed, n=60, horizon=4.0)
+        capacity = float(np.random.default_rng(seed).integers(3, 30))
+        delta = float(np.random.default_rng(seed + 1).choice([0.05, 0.2, 0.5]))
+        result = decompose(w, capacity, delta)
+        responses = primary_response_times(result)
+        if responses.size:
+            assert responses.max() <= delta + 1e-9
+
+
+class TestOptimality:
+    """RTT admits the offline-optimal number of requests (Lemmas 1-3)."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_discrete_model(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(3, 12))
+        w = Workload(np.sort(np.round(gen.uniform(0, 3, n), 3)))
+        capacity = float(gen.integers(1, 7))
+        delta = float(gen.choice([0.2, 0.3, 0.5, 1.0]))
+        opt = max_admissible_bruteforce(w, capacity, delta, discrete=True)
+        assert decompose(w, capacity, delta).n_admitted == opt
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_fluid_model(self, seed):
+        gen = np.random.default_rng(1000 + seed)
+        n = int(gen.integers(3, 12))
+        w = Workload(np.sort(np.round(gen.uniform(0, 3, n), 3)))
+        capacity = float(gen.integers(1, 7))
+        delta = float(gen.choice([0.2, 0.3, 0.5, 1.0]))
+        opt = max_admissible_bruteforce(w, capacity, delta, discrete=False)
+        assert decompose_fluid(w, capacity, delta).n_admitted == opt
+
+    def test_fractional_c_delta_not_pessimistic(self):
+        """The regression that motivated the deadline-form admission rule:
+
+        with C*delta = 1.5 an integer-queue RTT rejects requests that can
+        in fact meet their deadline behind a half-served predecessor.
+        """
+        w = Workload([0.454, 0.584, 0.995, 1.512, 1.798, 2.25, 2.524])
+        opt = max_admissible_bruteforce(w, 3.0, 0.5, discrete=True)
+        assert opt == 6
+        assert decompose(w, 3.0, 0.5).n_admitted == 6
+
+
+class TestModelAgreement:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_float_matches_exact_on_dyadic_inputs(self, seed):
+        """With power-of-two capacities, dyadic arrival times and dyadic
+        deadlines, double arithmetic is exact, so the float and Fraction
+        paths must classify identically."""
+        gen = np.random.default_rng(seed)
+        arrivals = np.sort(gen.integers(0, 4096, 50)) / 1024.0
+        w = Workload(arrivals)
+        capacity = int(gen.choice([1, 2, 4, 8, 16, 32]))
+        delta = float(gen.choice([0.125, 0.25, 0.5, 1.0]))
+        a = decompose(w, float(capacity), delta)
+        b = decompose_exact(w, capacity, Fraction(delta))
+        assert np.array_equal(a.admitted, b.admitted)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_float_close_to_exact_on_arbitrary_inputs(self, seed):
+        """On arbitrary floats the two may disagree only on knife-edge
+        ties; admitted counts stay within a tiny margin."""
+        gen = np.random.default_rng(seed)
+        w = Workload(np.sort(np.round(gen.uniform(0, 5, 80), 4)))
+        capacity = int(gen.integers(2, 25))
+        delta = float(gen.choice([0.1, 0.25, 0.5]))
+        a = decompose(w, float(capacity), delta)
+        b = decompose_exact(w, capacity, Fraction(float(delta)))
+        assert abs(a.n_admitted - b.n_admitted) <= 1
+
+    def test_integral_c_delta_fluid_equals_discrete(self):
+        """When C*delta is an integer the two server models admit the
+        same count on batch-arrival workloads."""
+        w = Workload.from_counts([0.0, 0.5, 1.0, 1.2], [4, 3, 5, 2])
+        for capacity, delta in [(4.0, 1.0), (10.0, 0.5), (2.0, 2.0)]:
+            d = decompose(w, capacity, delta).n_admitted
+            f = decompose_fluid(w, capacity, delta).n_admitted
+            assert d == f
+
+
+class TestMonotonicity:
+    def test_admitted_nondecreasing_in_capacity(self, bursty_workload):
+        counts = [
+            decompose(bursty_workload, c, 0.05).n_admitted
+            for c in [5, 10, 20, 40, 80, 160, 320, 640]
+        ]
+        assert counts == sorted(counts)
+
+    def test_admitted_nondecreasing_in_delta(self, bursty_workload):
+        counts = [
+            decompose(bursty_workload, 60.0, d).n_admitted
+            for d in [0.01, 0.02, 0.05, 0.1, 0.2, 0.5]
+        ]
+        assert counts == sorted(counts)
+
+
+class TestPrimaryResponseTimes:
+    def test_empty(self, empty_workload):
+        result = decompose(empty_workload, 5.0, 0.1)
+        assert primary_response_times(result).size == 0
+
+    def test_matches_sequential_recursion(self, uniform_workload):
+        result = decompose(uniform_workload, 25.0, 0.2)
+        arrivals = uniform_workload.arrivals[result.admitted]
+        service = 1.0 / 25.0
+        finish = 0.0
+        expected = []
+        for t in arrivals:
+            finish = max(finish, t) + service
+            expected.append(finish - t)
+        assert np.allclose(primary_response_times(result), expected)

@@ -1,0 +1,84 @@
+"""Tests for graduated SLAs."""
+
+import pytest
+
+from repro.core.sla import GraduatedSLA, SLATier
+from repro.exceptions import ConfigurationError
+
+
+class TestSLATier:
+    def test_valid(self):
+        tier = SLATier(fraction=0.9, delta=0.01)
+        assert tier.fraction == 0.9
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.1])
+    def test_bad_fraction(self, fraction):
+        with pytest.raises(ConfigurationError):
+            SLATier(fraction=fraction, delta=0.01)
+
+    def test_bad_delta(self):
+        with pytest.raises(ConfigurationError):
+            SLATier(fraction=0.9, delta=0.0)
+
+
+class TestGraduatedSLA:
+    def test_from_tuples(self):
+        sla = GraduatedSLA([(0.9, 0.01), (0.99, 0.05)])
+        assert len(sla) == 2
+
+    def test_tiers_sorted_by_fraction(self):
+        sla = GraduatedSLA([(0.99, 0.05), (0.9, 0.01)])
+        assert [t.fraction for t in sla] == [0.9, 0.99]
+        assert sla.strictest.fraction == 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="tier"):
+            GraduatedSLA([])
+
+    def test_inconsistent_ordering_rejected(self):
+        # 99% within 5 ms is stricter than 90% within 10 ms: nonsense.
+        with pytest.raises(ConfigurationError, match="inconsistent"):
+            GraduatedSLA([(0.9, 0.010), (0.99, 0.005)])
+
+    def test_duplicate_fraction_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            GraduatedSLA([(0.9, 0.01), (0.9, 0.02)])
+
+    def test_single_tier(self):
+        sla = GraduatedSLA([SLATier(1.0, 0.01)])
+        assert sla.strictest.fraction == 1.0
+
+
+class TestEvaluate:
+    def test_all_met(self):
+        sla = GraduatedSLA([(0.9, 0.010), (1.0, 0.100)])
+        samples = [0.005] * 95 + [0.05] * 5
+        report = sla.evaluate(samples)
+        assert all(t.met for t in report)
+        assert sla.is_met_by(samples)
+
+    def test_tier_violated(self):
+        sla = GraduatedSLA([(0.9, 0.010)])
+        samples = [0.005] * 80 + [0.05] * 20  # only 80% within 10 ms
+        report = sla.evaluate(samples)
+        assert not report[0].met
+        assert report[0].achieved_fraction == pytest.approx(0.8)
+        assert report[0].margin == pytest.approx(-0.1)
+
+    def test_empty_sample_trivially_met(self):
+        sla = GraduatedSLA([(0.9, 0.010)])
+        assert sla.is_met_by([])
+
+    def test_boundary_inclusive(self):
+        sla = GraduatedSLA([(1.0, 0.010)])
+        assert sla.is_met_by([0.010])
+
+    def test_margin_positive_when_overachieving(self):
+        sla = GraduatedSLA([(0.5, 0.010)])
+        report = sla.evaluate([0.001] * 10)
+        assert report[0].margin == pytest.approx(0.5)
+
+    def test_report_aligned_with_tiers(self):
+        sla = GraduatedSLA([(0.9, 0.01), (0.99, 0.05), (1.0, 0.5)])
+        report = sla.evaluate([0.001])
+        assert [r.tier.fraction for r in report] == [0.9, 0.99, 1.0]

@@ -1,0 +1,142 @@
+"""Tests for the Miser slack tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.slack import (
+    SlackTracker,
+    initial_slack,
+    is_unconstrained,
+    no_constraint,
+)
+from repro.exceptions import SchedulerError
+
+
+class TestBasics:
+    def test_empty_is_unconstrained(self):
+        tracker = SlackTracker()
+        assert is_unconstrained(tracker.min_slack())
+        assert len(tracker) == 0
+
+    def test_insert_and_min(self):
+        tracker = SlackTracker()
+        tracker.insert(1, 5)
+        tracker.insert(2, 3)
+        tracker.insert(3, 7)
+        assert tracker.min_slack() == 3
+        assert len(tracker) == 3
+
+    def test_slack_of(self):
+        tracker = SlackTracker()
+        tracker.insert(1, 5)
+        assert tracker.slack_of(1) == 5
+
+    def test_contains(self):
+        tracker = SlackTracker()
+        tracker.insert(1, 5)
+        assert 1 in tracker
+        assert 2 not in tracker
+
+    def test_duplicate_key_rejected(self):
+        tracker = SlackTracker()
+        tracker.insert(1, 5)
+        with pytest.raises(SchedulerError, match="already"):
+            tracker.insert(1, 6)
+
+    def test_remove(self):
+        tracker = SlackTracker()
+        tracker.insert(1, 3)
+        tracker.insert(2, 5)
+        tracker.remove(1)
+        assert tracker.min_slack() == 5
+        assert 1 not in tracker
+
+    def test_remove_unknown(self):
+        tracker = SlackTracker()
+        with pytest.raises(SchedulerError, match="not tracked"):
+            tracker.remove(99)
+
+    def test_slack_of_unknown(self):
+        tracker = SlackTracker()
+        with pytest.raises(SchedulerError, match="not tracked"):
+            tracker.slack_of(99)
+
+
+class TestDecrementAll:
+    def test_decrements_every_entry(self):
+        tracker = SlackTracker()
+        tracker.insert(1, 5)
+        tracker.insert(2, 3)
+        tracker.decrement_all()
+        assert tracker.slack_of(1) == 4
+        assert tracker.slack_of(2) == 2
+        assert tracker.min_slack() == 2
+
+    def test_insert_after_decrement_unaffected(self):
+        tracker = SlackTracker()
+        tracker.insert(1, 5)
+        tracker.decrement_all()
+        tracker.decrement_all()
+        tracker.insert(2, 5)
+        assert tracker.slack_of(1) == 3
+        assert tracker.slack_of(2) == 5
+        assert tracker.min_slack() == 3
+
+    def test_decrement_empty_is_safe(self):
+        tracker = SlackTracker()
+        tracker.decrement_all()
+        tracker.insert(1, 2)
+        assert tracker.slack_of(1) == 2
+
+    def test_slack_can_go_negative(self):
+        tracker = SlackTracker()
+        tracker.insert(1, 1)
+        tracker.decrement_all()
+        tracker.decrement_all()
+        assert tracker.slack_of(1) == -1
+        assert tracker.min_slack() == -1
+
+
+class TestAgainstNaiveModel:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_operation_sequences(self, seed):
+        """The lazy-offset tracker must match a dict-based naive model
+        under arbitrary interleavings of its operations."""
+        gen = np.random.default_rng(seed)
+        tracker = SlackTracker()
+        naive: dict[int, int] = {}
+        next_key = 0
+        for _ in range(400):
+            op = gen.integers(0, 4)
+            if op == 0 or not naive:  # insert
+                slack = int(gen.integers(0, 12))
+                tracker.insert(next_key, slack)
+                naive[next_key] = slack
+                next_key += 1
+            elif op == 1:  # remove random
+                key = int(gen.choice(list(naive)))
+                tracker.remove(key)
+                del naive[key]
+            elif op == 2:  # decrement all
+                tracker.decrement_all()
+                naive = {k: v - 1 for k, v in naive.items()}
+            else:  # query min
+                expected = min(naive.values()) if naive else no_constraint()
+                assert tracker.min_slack() == expected
+        for key, slack in naive.items():
+            assert tracker.slack_of(key) == slack
+
+
+class TestInitialSlack:
+    def test_matches_algorithm2(self):
+        # maxQ1 = 6, lenQ1 (post-increment) = 1 -> slack 5.
+        assert initial_slack(6.0, 1) == 5
+
+    def test_fractional_max_queue_floors(self):
+        assert initial_slack(5.95, 1) == 4
+
+    def test_full_queue_zero_slack(self):
+        assert initial_slack(6.0, 6) == 0
+
+    def test_never_negative(self):
+        assert initial_slack(2.0, 5) == 0

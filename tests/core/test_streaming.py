@@ -1,0 +1,86 @@
+"""Tests for the streaming capacity planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import CapacityPlanner
+from repro.core.streaming import StreamingPlanner
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ConfigurationError):
+            StreamingPlanner(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamingPlanner(delta=0.1, fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamingPlanner(delta=0.1, window=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamingPlanner(delta=0.1, window=5.0, replan_interval=10.0)
+
+    def test_rejects_time_travel(self):
+        planner = StreamingPlanner(delta=0.1)
+        planner.observe(5.0)
+        with pytest.raises(ConfigurationError, match="non-decreasing"):
+            planner.observe(4.0)
+
+
+class TestReplanning:
+    def test_replans_on_interval(self):
+        planner = StreamingPlanner(delta=0.1, window=20.0, replan_interval=5.0)
+        snapshots = planner.observe_many(np.arange(0.0, 20.0, 0.5))
+        assert len(snapshots) == len(planner.history)
+        assert len(snapshots) >= 3
+        times = [s.time for s in snapshots]
+        assert all(b - a >= 5.0 - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_no_snapshot_between_intervals(self):
+        planner = StreamingPlanner(delta=0.1, window=20.0, replan_interval=5.0)
+        assert planner.observe(1.0) is None
+        assert planner.current is None
+
+    def test_estimate_matches_offline_on_window(self, rng):
+        """A window covering the whole stream reproduces the offline plan."""
+        arrivals = np.sort(rng.uniform(0.0, 10.0, 300))
+        planner = StreamingPlanner(
+            delta=0.1, fraction=0.9, window=100.0, replan_interval=10.0
+        )
+        planner.observe_many(arrivals)
+        planner.observe(10.0)  # force the final replan tick
+        offline = CapacityPlanner(Workload(arrivals), 0.1).min_capacity(0.9)
+        assert planner.current.cmin == pytest.approx(offline, rel=0.1)
+
+    def test_window_eviction(self):
+        planner = StreamingPlanner(delta=0.1, window=5.0, replan_interval=5.0)
+        planner.observe_many(np.arange(0.0, 30.0, 0.1))
+        assert planner.current.window_requests <= 51
+
+
+class TestDriftTracking:
+    def test_estimate_follows_rate_change(self, rng):
+        """Rate quadruples at t=30: the estimate ramps up after the shift
+        and the early estimates stay low."""
+        slow = np.sort(rng.uniform(0.0, 30.0, 300))  # 10 IOPS
+        fast = np.sort(rng.uniform(30.0, 60.0, 1200))  # 40 IOPS
+        planner = StreamingPlanner(
+            delta=0.2, fraction=0.9, window=10.0, replan_interval=2.0
+        )
+        planner.observe_many(np.concatenate([slow, fast]))
+        times, estimates = planner.estimate_series()
+        early = estimates[times < 28.0].mean()
+        late = estimates[times > 45.0].mean()
+        assert late > 2.0 * early
+
+    def test_high_water_mark(self, rng):
+        arrivals = np.sort(rng.uniform(0.0, 20.0, 500))
+        planner = StreamingPlanner(delta=0.1, window=10.0, replan_interval=2.0)
+        planner.observe_many(arrivals)
+        assert planner.high_water_mark == max(s.cmin for s in planner.history)
+
+    def test_empty_series(self):
+        planner = StreamingPlanner(delta=0.1)
+        times, estimates = planner.estimate_series()
+        assert times.size == 0
+        assert planner.high_water_mark == 0.0

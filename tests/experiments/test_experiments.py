@@ -1,0 +1,328 @@
+"""Tests for the experiment harness (small-scale runs of every figure)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+)
+from repro.experiments import extensions, sensitivity
+from repro.experiments.runner import ORDER, main
+
+#: Small scale: fast but still structurally meaningful.
+CONFIG = ExperimentConfig(duration=20.0)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(duration=20.0)
+
+
+class TestConfig:
+    def test_workload_memoized(self, config):
+        assert config.workload("openmail") is config.workload("openmail")
+
+    def test_seed_offset_changes_trace(self):
+        a = ExperimentConfig(duration=10.0).workload("websearch")
+        b = ExperimentConfig(duration=10.0, seed_offset=5).workload("websearch")
+        assert len(a) != len(b) or a.arrivals[0] != b.arrivals[0]
+
+    def test_workloads_list(self, config):
+        names = [w.name for w in config.workloads()]
+        assert names == ["WebSearch", "FinTrans", "OpenMail"]
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return table1.run(config, deltas=(0.010, 0.050), fractions=(0.9, 1.0))
+
+    def test_structure(self, result):
+        assert set(result.capacities) == {"websearch", "fintrans", "openmail"}
+        for _, _, row in result.rows():
+            assert set(row) == {0.9, 1.0}
+
+    def test_capacities_monotone_in_fraction(self, result):
+        for _, _, row in result.rows():
+            assert row[1.0] >= row[0.9]
+
+    def test_knee_present(self, result):
+        assert result.knee("openmail", 0.010) > 2.0
+
+    def test_render(self, result):
+        text = table1.render(result)
+        assert "Table 1" in text
+        assert "websearch" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return figure2.run(config)
+
+    def test_peak_collapse(self, result):
+        """Panel (b)'s defining feature: Q1's peak rate collapses toward
+        Cmin while the original peak towers above it."""
+        assert result.primary_peak < 0.6 * result.original_peak
+        assert result.primary_peak < 2.5 * result.cmin
+
+    def test_recombination_serves_everything(self, result):
+        starts, rates = result.recombined
+        total = rates.sum() * result.bin_width
+        assert total == pytest.approx(
+            len(CONFIG.workload("openmail")), rel=0.01
+        )
+
+    def test_fraction_admitted_near_target(self, result):
+        assert result.fraction_admitted >= result.fraction
+
+    def test_render(self, result):
+        text = figure2.render(result)
+        assert "Figure 2" in text
+        assert "(a)" in text and "(b)" in text and "(c)" in text
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3.run()
+
+    def test_matches_paper_narrative(self, result):
+        assert result.optimal_drops == 2
+        assert result.rtt_drops == 2
+        assert result.drop_choice_feasible["(b) one at t=1, one at t=2"]
+        assert result.drop_choice_feasible["(c) one at t=2, one at t=3"]
+        assert not result.drop_choice_feasible["poor: two at t=1"]
+
+    def test_admitted_meet_deadline(self, result):
+        assert result.max_primary_response <= result.delta + 1e-9
+
+    def test_recombination_covers_everything(self, result):
+        assert result.recombined_fraction_met == 1.0
+
+    def test_render(self, result):
+        text = figure3.render(result)
+        assert "Figure 3" in text
+        assert "overload" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return figure4.run(config, deltas=(0.010,))
+
+    def test_fcfs_below_decomposed_target(self, result):
+        for cell in result.cells:
+            assert cell.compliance_at_delta < cell.fraction_target
+
+    def test_cell_lookup(self, result):
+        cell = result.cell("WebSearch", 0.010)
+        assert cell.capacity > 0
+        with pytest.raises(KeyError):
+            result.cell("WebSearch", 0.5)
+
+    def test_render(self, result):
+        assert "Figure 4" in figure4.render(result)
+        assert "ms" in figure4.render(result, with_cdfs=True)
+
+
+class TestFigure5:
+    def test_higher_target_higher_compliance(self, config):
+        result = figure5.run(config, fractions=(0.95, 0.99))
+        lo = result.panels[0.95].cells
+        hi = result.panels[0.99].cells
+        for a, b in zip(lo, hi):
+            assert b.capacity >= a.capacity
+        assert "Figure 5" in figure5.render(result)
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return figure6.run(config, fractions=(0.9,))
+
+    def test_shaped_policies_beat_fcfs(self, result):
+        panel = result.panel(0.9)
+        fcfs = panel.bins("fcfs")[f"<={0.05:g}"]
+        for policy in ("split", "fairqueue", "miser"):
+            assert panel.bins(policy)[f"<={0.05:g}"] > fcfs
+
+    def test_split_near_target(self, result):
+        panel = result.panel(0.9)
+        assert panel.bins("split")[f"<={0.05:g}"] >= 0.85
+
+    def test_overflow_ratio_present(self, result):
+        mean_ratio, max_ratio = result.overflow_ratios[0.9]
+        assert mean_ratio > 0
+
+    def test_render(self, result):
+        assert "Figure 6" in figure6.render(result)
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return figure7.run(
+            config, workload_names=("openmail",), fractions=(1.0, 0.9),
+            shifts=(1.0,),
+        )
+
+    def test_traditional_overprovisions(self, result):
+        cell = result.cell("OpenMail", 1.0)
+        assert cell.ratio(1.0) < 0.8
+
+    def test_decomposed_estimate_accurate(self, result):
+        cell = result.cell("OpenMail", 0.9)
+        assert cell.ratio(1.0) > 0.85
+
+    def test_render(self, result):
+        assert "Figure 7" in figure7.render(result)
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return figure8.run(
+            config, pairs=(("websearch", "fintrans"),), fractions=(1.0, 0.9)
+        )
+
+    def test_decomposed_closer_than_traditional(self, result):
+        pair = ("websearch", "fintrans")
+        traditional = result.result(pair, 1.0)
+        decomposed = result.result(pair, 0.9)
+        assert decomposed.ratio > traditional.ratio
+
+    def test_render(self, result):
+        assert "Figure 8" in figure8.render(result)
+
+
+class TestRunner:
+    def test_registry_covers_order(self):
+        # "all" runs the paper's artifacts; extensions are opt-in by name.
+        assert set(ORDER) < set(EXPERIMENTS)
+        assert "extensions" in EXPERIMENTS
+
+    def test_cli_single_experiment(self, capsys, tmp_path):
+        out = tmp_path / "exp.md"
+        code = main(
+            ["figure4", "--duration", "15", "--output", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "figure4" in captured
+        assert "Figure 4" in out.read_text()
+
+
+class TestExtensions:
+    def test_cascade_and_streaming(self, config):
+        result = extensions.run(config)
+        assert len(result.cascade) == 3
+        for cell in result.cascade:
+            # The cascade always beats worst-case provisioning.
+            assert cell.cascade_total < cell.worst_case
+            assert cell.coverage[0] >= 0.90
+            assert cell.coverage[1] >= 0.99
+        for cell in result.streaming:
+            assert cell.replans > 0
+            # The live estimate lands in the offline ballpark.
+            assert 0.5 <= cell.high_water_mark / cell.offline_cmin <= 2.0
+        text = extensions.render(result)
+        assert "Cascade" in text and "Online" in text
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return sensitivity.run(config)
+
+    def test_all_cells_present(self, result):
+        assert len(result.cells) == 9  # 3 workloads x 3 perturbations
+        assert len(result.for_workload("OpenMail")) == 3
+
+    def test_thinning_reduces_capacity(self, result):
+        for cell in result.cells:
+            if cell.perturbation.startswith("thin"):
+                assert cell.c90_shift <= 0.05
+
+    def test_jitter_dissolves_extreme_tail(self, result):
+        """5 ms jitter rewrites the micro-timing of the giant batches, so
+        the worst-case estimate drops while c90 barely moves."""
+        for cell in result.cells:
+            if cell.perturbation.startswith("jitter"):
+                assert cell.c100_shift < 0.05
+                assert abs(cell.c90_shift) < 0.30
+
+    def test_batching_inflates_requirements(self, result):
+        for cell in result.cells:
+            if cell.perturbation.startswith("batch"):
+                assert cell.c90_shift > 0.0
+
+    def test_render(self, result):
+        assert "Sensitivity" in sensitivity.render(result)
+
+
+class TestWorkloadOverrides:
+    def test_real_trace_substitution(self):
+        """The hook for real traces: an override is used verbatim by
+        every experiment instead of the synthetic stand-in."""
+        import numpy as np
+
+        from repro.core.workload import Workload
+        from repro.experiments import table1
+
+        custom = Workload(
+            np.sort(np.random.default_rng(0).uniform(0, 10.0, 2000)),
+            name="MyRealTrace",
+        )
+        cfg = ExperimentConfig(
+            duration=10.0, overrides={"websearch": custom}
+        )
+        assert cfg.workload("websearch") is custom
+        result = table1.run(
+            cfg, workload_names=("websearch",), deltas=(0.010,),
+            fractions=(0.9, 1.0),
+        )
+        assert "websearch" in result.capacities
+
+
+class TestVerify:
+    def test_all_criteria_pass_at_small_scale(self):
+        from repro.experiments import verify
+
+        checks = verify.verify(ExperimentConfig(duration=60.0))
+        failed = [c for c in checks if not c.passed]
+        assert not failed, verify.render(checks)
+        assert len(checks) >= 12
+
+    def test_render_counts(self):
+        from repro.experiments.verify import Check, render
+
+        text = render([
+            Check("x", "works", True, "ok"),
+            Check("y", "breaks", False, "nope"),
+        ])
+        assert "[PASS] x" in text
+        assert "[FAIL] y" in text
+        assert "1/2 criteria passed" in text
+
+    def test_cli_verify_exit_code(self, capsys):
+        code = main(["--verify", "--duration", "40"])
+        out = capsys.readouterr().out
+        assert "criteria passed" in out
+        assert code in (0, 1)  # small scale may be noisy; CLI contract only
+
+    def test_cli_requires_experiments_or_verify(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])

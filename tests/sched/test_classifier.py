@@ -1,0 +1,80 @@
+"""Tests for the online RTT classifier."""
+
+import pytest
+
+from repro.core.request import QoSClass, Request
+from repro.exceptions import ConfigurationError
+from repro.sched.classifier import OnlineRTTClassifier
+
+
+def make_request(t=0.0):
+    return Request(arrival=t)
+
+
+class TestClassifier:
+    def test_limit_is_floor_of_c_delta(self):
+        assert OnlineRTTClassifier(100.0, 0.05).limit == 5
+        assert OnlineRTTClassifier(119.0, 0.05).limit == 5  # floor(5.95)
+        assert OnlineRTTClassifier(10.0, 0.05).limit == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OnlineRTTClassifier(0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            OnlineRTTClassifier(10.0, 0.0)
+
+    def test_admits_until_full(self):
+        clf = OnlineRTTClassifier(30.0, 0.1)  # limit = 3
+        outcomes = [clf.classify(make_request()) for _ in range(5)]
+        assert outcomes == [QoSClass.PRIMARY] * 3 + [QoSClass.OVERFLOW] * 2
+        assert clf.len_q1 == 3
+
+    def test_deadline_stamped_on_primary(self):
+        clf = OnlineRTTClassifier(30.0, 0.1)
+        request = make_request(t=2.0)
+        clf.classify(request)
+        assert request.deadline == pytest.approx(2.1)
+
+    def test_overflow_has_no_deadline(self):
+        clf = OnlineRTTClassifier(10.0, 0.1)  # limit = 1
+        clf.classify(make_request())
+        overflow = make_request()
+        clf.classify(overflow)
+        assert overflow.deadline is None
+
+    def test_completion_frees_slot(self):
+        clf = OnlineRTTClassifier(10.0, 0.1)  # limit = 1
+        first = make_request()
+        clf.classify(first)
+        assert clf.classify(make_request()) is QoSClass.OVERFLOW
+        clf.on_completion(first)
+        assert clf.len_q1 == 0
+        assert clf.classify(make_request()) is QoSClass.PRIMARY
+
+    def test_overflow_completion_does_not_decrement(self):
+        clf = OnlineRTTClassifier(10.0, 0.1)
+        clf.classify(make_request())
+        overflow = make_request()
+        clf.classify(overflow)
+        clf.on_completion(overflow)
+        assert clf.len_q1 == 1
+
+    def test_underflow_detected(self):
+        clf = OnlineRTTClassifier(10.0, 0.1)
+        primary = make_request()
+        clf.classify(primary)
+        clf.on_completion(primary)
+        with pytest.raises(ConfigurationError, match="underflow"):
+            clf.on_completion(primary)
+
+    def test_fraction_primary(self):
+        clf = OnlineRTTClassifier(20.0, 0.1)  # limit = 2
+        for _ in range(4):
+            clf.classify(make_request())
+        assert clf.fraction_primary == pytest.approx(0.5)
+
+    def test_fraction_primary_empty(self):
+        assert OnlineRTTClassifier(10.0, 0.1).fraction_primary == 1.0
+
+    def test_max_queue_property(self):
+        assert OnlineRTTClassifier(119.0, 0.05).max_queue == pytest.approx(5.95)

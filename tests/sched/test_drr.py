@@ -1,0 +1,114 @@
+"""Tests for deficit round robin."""
+
+import pytest
+
+from repro.core.request import Request
+from repro.exceptions import ConfigurationError, SchedulerError
+from repro.sched.drr import DeficitRoundRobin
+from repro.shaping import run_policy
+
+
+def req(t=0.0):
+    return Request(arrival=t)
+
+
+class TestConstruction:
+    def test_needs_flows(self):
+        with pytest.raises(ConfigurationError):
+            DeficitRoundRobin({})
+
+    def test_positive_weights(self):
+        with pytest.raises(ConfigurationError):
+            DeficitRoundRobin({1: 0.0})
+
+    def test_unknown_flow(self):
+        drr = DeficitRoundRobin({1: 1.0})
+        with pytest.raises(SchedulerError):
+            drr.add(2, req())
+
+
+class TestDispatch:
+    def test_empty(self):
+        assert DeficitRoundRobin({1: 1.0}).select() is None
+
+    def test_single_flow_fifo(self):
+        drr = DeficitRoundRobin({1: 1.0})
+        requests = [req(i) for i in range(5)]
+        for r in requests:
+            drr.add(1, r)
+        served = [drr.select()[1] for _ in range(5)]
+        assert served == requests
+
+    def test_conserves_requests(self):
+        drr = DeficitRoundRobin({1: 1.0, 2: 3.0})
+        for i in range(30):
+            drr.add(1 + i % 2, req(i))
+        count = 0
+        while drr.select() is not None:
+            count += 1
+        assert count == 30
+        assert len(drr) == 0
+
+    def test_equal_weights_alternate_rounds(self):
+        drr = DeficitRoundRobin({1: 1.0, 2: 1.0})
+        for _ in range(10):
+            drr.add(1, req())
+            drr.add(2, req())
+        first_10 = [drr.select()[0] for _ in range(10)]
+        assert first_10.count(1) == 5
+
+    def test_weighted_shares(self):
+        drr = DeficitRoundRobin({1: 3.0, 2: 1.0})
+        for _ in range(60):
+            drr.add(1, req())
+            drr.add(2, req())
+        first_40 = [drr.select()[0] for _ in range(40)]
+        share = first_40.count(1) / 40
+        assert share == pytest.approx(0.75, abs=0.1)
+
+    def test_work_conserving_with_idle_flow(self):
+        drr = DeficitRoundRobin({1: 1.0, 2: 99.0})
+        for _ in range(5):
+            drr.add(1, req())
+        assert [drr.select()[0] for _ in range(5)] == [1] * 5
+
+    def test_fractional_quantum_flow_still_served(self):
+        """A very low-weight flow accumulates deficit over rounds but is
+        never starved while backlogged."""
+        drr = DeficitRoundRobin({1: 100.0, 2: 1.0})
+        for _ in range(300):
+            drr.add(1, req())
+        for _ in range(3):
+            drr.add(2, req())
+        served_flow2 = 0
+        for _ in range(303):
+            fid, _ = drr.select()
+            served_flow2 += fid == 2
+        assert served_flow2 == 3
+
+    def test_backlog(self):
+        drr = DeficitRoundRobin({1: 1.0})
+        drr.add(1, req())
+        assert drr.backlog(1) == 1
+
+
+class TestDRRPolicy:
+    @pytest.fixture
+    def planned(self, bursty_workload):
+        from repro.core.capacity import CapacityPlanner
+
+        return CapacityPlanner(bursty_workload, 0.1).min_capacity(0.9)
+
+    def test_end_to_end(self, bursty_workload, planned):
+        result = run_policy(bursty_workload, "drr", planned, 10.0, 0.1)
+        assert len(result.overall) == len(bursty_workload)
+        assert result.fraction_within() >= 0.88
+
+    def test_comparable_to_sfq(self, bursty_workload, planned):
+        """DRR and SFQ realize the same proportional shares, so the
+        recombined distribution matches across scheduler families."""
+        drr = run_policy(bursty_workload, "drr", planned, 10.0, 0.1)
+        sfq = run_policy(bursty_workload, "fairqueue", planned, 10.0, 0.1)
+        assert drr.fraction_within() == pytest.approx(
+            sfq.fraction_within(), abs=0.08
+        )

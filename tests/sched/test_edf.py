@@ -1,0 +1,101 @@
+"""Tests for the EDF (clock-slack) scheduler."""
+
+import pytest
+
+from repro.core.request import QoSClass, Request
+from repro.exceptions import ConfigurationError
+from repro.sched.classifier import OnlineRTTClassifier
+from repro.sched.edf import EDFScheduler
+from repro.shaping import run_policy
+
+
+def make_edf(cmin=30.0, delta=0.1, rate=None):
+    return EDFScheduler(
+        OnlineRTTClassifier(cmin, delta), service_rate=rate or cmin
+    )
+
+
+def req(t=0.0):
+    return Request(arrival=t)
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="service_rate"):
+            EDFScheduler(OnlineRTTClassifier(10.0, 0.1), service_rate=0.0)
+
+    def test_empty(self):
+        assert make_edf().select(0.0) is None
+
+    def test_classifies(self):
+        edf = make_edf(cmin=20.0, delta=0.1)  # limit 2
+        requests = [req() for _ in range(3)]
+        for r in requests:
+            edf.on_arrival(r)
+        assert [r.qos_class for r in requests] == [
+            QoSClass.PRIMARY,
+            QoSClass.PRIMARY,
+            QoSClass.OVERFLOW,
+        ]
+        assert edf.pending() == 3
+
+    def test_q1_served_when_no_time_slack(self):
+        edf = make_edf(cmin=10.0, delta=0.1)  # service 0.1 s, limit 1
+        primary, overflow = req(0.0), req(0.0)
+        edf.on_arrival(primary)
+        edf.on_arrival(overflow)
+        # At t=0.0 deferring the primary to t=0.2 would miss t=0.1.
+        assert edf.select(0.0) is primary
+
+    def test_overflow_served_when_clock_allows(self):
+        edf = make_edf(cmin=30.0, delta=0.1)  # service 1/30 s, limit 3
+        primary = req(0.0)
+        edf.on_arrival(primary)  # deadline 0.1
+        overflow = req(0.0)
+        # Force the second request to Q2 by filling the classifier.
+        edf.classifier.len_q1 = edf.classifier.limit
+        edf.on_arrival(overflow)
+        assert overflow.qos_class is QoSClass.OVERFLOW
+        # At t=0: serving Q2 first finishes the primary by 2/30 < 0.1.
+        assert edf.select(0.0) is overflow
+        # At t=0.05: 0.05 + 2/30 = 0.117 > 0.1 -> primary must go.
+        edf.on_arrival(overflow2 := req(0.05))
+        assert overflow2.qos_class is QoSClass.OVERFLOW
+        assert edf.select(0.05) is primary
+
+    def test_exploits_slack_miser_forgets(self):
+        """A primary that waited keeps its absolute deadline under EDF;
+        Miser's stored slack only shrinks.  Construct a state where the
+        clock still allows one overflow quantum."""
+        edf = make_edf(cmin=100.0, delta=0.1)  # service 10 ms, limit 10
+        primary = req(0.0)  # deadline 0.1
+        edf.on_arrival(primary)
+        edf.classifier.len_q1 = edf.classifier.limit  # saturate admission
+        overflow = req(0.01)
+        edf.on_arrival(overflow)
+        # At t = 0.07: 0.07 + 2 * 0.01 = 0.09 <= 0.1 -> overflow first.
+        assert edf.select(0.07) is overflow
+
+    def test_work_conserving_order(self):
+        edf = make_edf(cmin=10.0, delta=0.1)
+        a = req(0.0)
+        edf.on_arrival(a)
+        assert edf.select(0.0) is a
+        assert edf.select(0.0) is None
+
+
+class TestEndToEnd:
+    def test_runs_under_run_policy(self, bursty_workload):
+        result = run_policy(bursty_workload, "edf", 40.0, 10.0, 0.1)
+        assert len(result.overall) == len(bursty_workload)
+
+    def test_no_primary_misses(self, bursty_workload):
+        """EDF defers Q2 whenever a primary deadline is at risk at the
+        true service rate, so primaries never miss."""
+        result = run_policy(bursty_workload, "edf", 40.0, 10.0, 0.1)
+        assert result.primary_misses == 0
+
+    def test_overflow_not_worse_than_fairqueue(self, bursty_workload):
+        edf = run_policy(bursty_workload, "edf", 40.0, 5.0, 0.1)
+        fair = run_policy(bursty_workload, "fairqueue", 40.0, 5.0, 0.1)
+        assert edf.overflow.stats.mean <= fair.overflow.stats.mean * 1.1

@@ -1,0 +1,70 @@
+"""Tests for the FCFS scheduler and the policy registry."""
+
+import pytest
+
+from repro.core.request import Request
+from repro.exceptions import ConfigurationError
+from repro.sched.fair import FairQueueScheduler
+from repro.sched.fcfs import FCFSScheduler
+from repro.sched.miser import MiserScheduler
+from repro.sched.registry import ALL_POLICIES, SINGLE_SERVER_POLICIES, make_scheduler
+
+
+class TestFCFS:
+    def test_fifo_order(self):
+        sched = FCFSScheduler()
+        requests = [Request(arrival=float(i)) for i in range(5)]
+        for r in requests:
+            sched.on_arrival(r)
+        assert [sched.select(0.0) for _ in range(5)] == requests
+
+    def test_empty_select(self):
+        assert FCFSScheduler().select(0.0) is None
+
+    def test_pending(self):
+        sched = FCFSScheduler()
+        sched.on_arrival(Request(arrival=0.0))
+        assert sched.pending() == 1
+        assert len(sched) == 1
+        sched.select(0.0)
+        assert sched.pending() == 0
+
+    def test_on_completion_noop(self):
+        FCFSScheduler().on_completion(Request(arrival=0.0))
+
+
+class TestRegistry:
+    def test_policy_lists_consistent(self):
+        assert set(SINGLE_SERVER_POLICIES) < set(ALL_POLICIES)
+        assert "split" in ALL_POLICIES
+
+    def test_fcfs(self):
+        assert isinstance(make_scheduler("fcfs", 10, 1, 0.1), FCFSScheduler)
+
+    def test_fairqueue_variants(self):
+        sfq = make_scheduler("fairqueue", 10, 1, 0.1)
+        wf2q = make_scheduler("wf2q", 10, 1, 0.1)
+        assert isinstance(sfq, FairQueueScheduler)
+        assert isinstance(wf2q, FairQueueScheduler)
+        assert sfq._queue.variant == "sfq"
+        assert wf2q._queue.variant == "wf2q"
+
+    def test_miser(self):
+        sched = make_scheduler("miser", 10, 1, 0.1)
+        assert isinstance(sched, MiserScheduler)
+        assert sched.classifier.capacity == 10
+
+    def test_split_redirects_to_topology(self):
+        with pytest.raises(ConfigurationError, match="two-server"):
+            make_scheduler("split", 10, 1, 0.1)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            make_scheduler("lifo", 10, 1, 0.1)
+
+    def test_classifier_uses_cmin_not_total(self):
+        """Decomposition is defined by Cmin; the extra delta_C only adds
+        service rate (Section 3)."""
+        sched = make_scheduler("fairqueue", 100, 50, 0.1)
+        assert sched.classifier.capacity == 100
+        assert sched.classifier.limit == 10

@@ -1,0 +1,150 @@
+"""Tests for the Miser scheduler (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.request import QoSClass, Request
+from repro.core.slack import is_unconstrained
+from repro.core.workload import Workload
+from repro.sched.classifier import OnlineRTTClassifier
+from repro.sched.miser import MiserScheduler
+from repro.shaping import run_policy
+
+
+def make_miser(capacity=30.0, delta=0.1):
+    return MiserScheduler(OnlineRTTClassifier(capacity, delta))
+
+
+def req(t=0.0):
+    return Request(arrival=t)
+
+
+class TestQueueing:
+    def test_classifies_on_arrival(self):
+        miser = make_miser(capacity=20.0, delta=0.1)  # limit = 2
+        requests = [req() for _ in range(4)]
+        for r in requests:
+            miser.on_arrival(r)
+        classes = [r.qos_class for r in requests]
+        assert classes == [QoSClass.PRIMARY] * 2 + [QoSClass.OVERFLOW] * 2
+        assert miser.pending() == 4
+
+    def test_empty_select(self):
+        assert make_miser().select(0.0) is None
+
+    def test_q2_only_served_when_q1_empty(self):
+        miser = make_miser(capacity=10.0, delta=0.1)  # limit = 1
+        a, b = req(), req()
+        miser.on_arrival(a)  # primary
+        miser.on_arrival(b)  # overflow
+        # Q1 head has slack 0 (limit 1, occupancy 1): Q1 must go first.
+        assert miser.select(0.0) is a
+        assert miser.select(0.0) is b
+
+
+class TestSlackGating:
+    def test_overflow_jumps_ahead_when_slack_allows(self):
+        """With limit 3 and one queued primary (slack 2), the overflow
+        request is served before the primary — Miser's defining move."""
+        miser = make_miser(capacity=30.0, delta=0.1)  # limit = 3
+        primary, overflow = req(), req()
+        miser.on_arrival(primary)
+        # With occupancy 1 of 3 the next arrivals are still primary; fill
+        # the queue so the fourth arrival overflows into Q2.
+        extra1, extra2 = req(), req()
+        miser.on_arrival(extra1)
+        miser.on_arrival(extra2)
+        miser.on_arrival(overflow)  # queue full -> Q2
+        # min slack = slack of extra2 = floor(3 - 3) = 0 -> Q1 first.
+        assert miser.select(0.0) is primary
+        miser.on_completion(primary)
+        # After completion the remaining primaries have slacks 1 and 0
+        # (their values were fixed at arrival), so Q2 still waits.
+        assert miser.select(0.0) is extra1
+
+    def test_slack_decrements_on_overflow_dispatch(self):
+        miser = make_miser(capacity=40.0, delta=0.1)  # limit = 4
+        p1 = req()
+        miser.on_arrival(p1)  # slack = 3
+        overflow = []
+        for _ in range(3):
+            miser.on_arrival(req())  # fill queue: slacks 2, 1, 0
+        # Now occupancy 4 -> overflow
+        for _ in range(2):
+            r = req()
+            miser.on_arrival(r)
+            overflow.append(r)
+        # min slack is 0 (the request admitted into the last slot), so
+        # the primary queue must be served first.
+        assert miser.select(0.0).qos_class is QoSClass.PRIMARY
+        # The dispatched head (slack 3) left; the later admissions with
+        # slacks 2, 1, 0 remain, so the minimum is still 0.
+        assert miser.min_slack == 0
+
+    def test_min_slack_unconstrained_when_empty(self):
+        miser = make_miser()
+        assert is_unconstrained(miser.min_slack)
+
+    def test_slack_dispatch_counter(self):
+        miser = make_miser(capacity=30.0, delta=0.1)  # limit 3
+        miser.on_arrival(req())  # primary, slack 2
+        for _ in range(2):
+            miser.on_arrival(req())
+        overflow = req()
+        miser.on_arrival(overflow)  # Q2
+        # slacks are 2, 1, 0 -> min 0: no slack dispatch possible.
+        miser.select(0.0)
+        assert miser.slack_dispatches == 0
+
+
+class TestEndToEnd:
+    def test_all_served_exactly_once(self, bursty_workload):
+        result = run_policy(bursty_workload, "miser", 40.0, 10.0, 0.1)
+        assert len(result.overall) == len(bursty_workload)
+
+    def test_overflow_faster_than_fairqueue(self, bursty_workload):
+        """Miser's raison d'etre: the overflow class finishes earlier than
+        under FairQueue at identical capacity (Figure 6c)."""
+        miser = run_policy(bursty_workload, "miser", 40.0, 5.0, 0.1)
+        fair = run_policy(bursty_workload, "fairqueue", 40.0, 5.0, 0.1)
+        assert len(miser.overflow) > 0 and len(fair.overflow) > 0
+        assert miser.overflow.stats.mean <= fair.overflow.stats.mean
+
+    def test_no_primary_misses_with_delta_c_equal_cmin(self):
+        """The paper's safety theorem: delta_C = Cmin guarantees zero
+        primary deadline misses under Miser."""
+        for seed in range(5):
+            gen = np.random.default_rng(seed)
+            floor = gen.uniform(0, 10, 200)
+            burst = 3.0 + gen.uniform(0, 0.3, 150)
+            w = Workload(np.sort(np.concatenate([floor, burst])))
+            cmin = 40.0
+            result = run_policy(w, "miser", cmin, cmin, 0.1)
+            assert result.primary_misses == 0
+
+    def test_few_primary_misses_with_small_delta_c(self, bursty_workload):
+        """With the paper's small delta_C = 1/delta, misses are rare."""
+        result = run_policy(bursty_workload, "miser", 40.0, 10.0, 0.1)
+        assert result.primary_misses <= 0.02 * len(result.primary)
+
+    def test_work_conserving_same_makespan_as_fcfs(self, bursty_workload):
+        """Miser never idles while requests are pending, so on one server
+        its last completion instant equals FCFS's at the same capacity."""
+        from repro.sched.registry import make_scheduler
+        from repro.server.constant_rate import constant_rate_server
+        from repro.server.driver import DeviceDriver
+        from repro.sim.engine import Simulator
+        from repro.sim.source import WorkloadSource
+
+        def makespan(policy):
+            sim = Simulator()
+            driver = DeviceDriver(
+                sim,
+                constant_rate_server(sim, 50.0),
+                make_scheduler(policy, 40.0, 10.0, 0.1),
+            )
+            WorkloadSource(sim, bursty_workload, driver).start()
+            sim.run()
+            return max(r.completion for r in driver.completed)
+
+        assert makespan("miser") == pytest.approx(makespan("fcfs"))

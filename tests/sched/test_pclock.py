@@ -1,0 +1,153 @@
+"""Tests for the pClock-style arrival-curve scheduler."""
+
+import pytest
+
+from repro.core.request import Request
+from repro.exceptions import ConfigurationError, SchedulerError
+from repro.sched.pclock import FlowSLA, PClockScheduler, feasible
+from repro.server.constant_rate import constant_rate_server
+from repro.server.driver import DeviceDriver
+from repro.sim.engine import Simulator
+
+
+def req(t, client):
+    return Request(arrival=t, client_id=client)
+
+
+class TestFlowSLA:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlowSLA(sigma=0.5, rho=10.0, delta=0.1)
+        with pytest.raises(ConfigurationError):
+            FlowSLA(sigma=1.0, rho=0.0, delta=0.1)
+        with pytest.raises(ConfigurationError):
+            FlowSLA(sigma=1.0, rho=10.0, delta=0.0)
+
+
+class TestTagging:
+    def test_conforming_request_gets_delta(self):
+        sched = PClockScheduler({1: FlowSLA(sigma=5, rho=10.0, delta=0.1)})
+        r = req(1.0, 1)
+        sched.on_arrival(r)
+        assert r.deadline == pytest.approx(1.1)
+
+    def test_burst_within_sigma_keeps_delta(self):
+        sched = PClockScheduler({1: FlowSLA(sigma=3, rho=10.0, delta=0.1)})
+        rs = [req(0.0, 1) for _ in range(3)]
+        for r in rs:
+            sched.on_arrival(r)
+        assert all(r.deadline == pytest.approx(0.1) for r in rs)
+
+    def test_excess_deadline_deferred(self):
+        sched = PClockScheduler({1: FlowSLA(sigma=2, rho=10.0, delta=0.1)})
+        rs = [req(0.0, 1) for _ in range(4)]
+        for r in rs:
+            sched.on_arrival(r)
+        # 3rd and 4th requests exceed the burst: bucket owes 1 and 2
+        # tokens, refilled at 10/s -> +0.1 s and +0.2 s.
+        assert rs[2].deadline == pytest.approx(0.2)
+        assert rs[3].deadline == pytest.approx(0.3)
+
+    def test_bucket_refills_over_time(self):
+        sched = PClockScheduler({1: FlowSLA(sigma=1, rho=10.0, delta=0.1)})
+        sched.on_arrival(req(0.0, 1))
+        later = req(0.2, 1)  # 2 tokens' worth of time elapsed (cap 1)
+        sched.on_arrival(later)
+        assert later.deadline == pytest.approx(0.3)
+        assert sched.tokens(1) == pytest.approx(0.0)
+
+    def test_unknown_flow_best_effort(self):
+        sched = PClockScheduler({1: FlowSLA(sigma=1, rho=10.0, delta=0.1)})
+        stranger = req(0.0, 99)
+        sched.on_arrival(stranger)
+        assert stranger.deadline is None
+
+    def test_unknown_flow_strict(self):
+        sched = PClockScheduler(
+            {1: FlowSLA(sigma=1, rho=10.0, delta=0.1)}, strict=True
+        )
+        with pytest.raises(SchedulerError, match="unknown flow"):
+            sched.on_arrival(req(0.0, 99))
+
+    def test_requires_flows(self):
+        with pytest.raises(ConfigurationError):
+            PClockScheduler({})
+
+    def test_tokens_unknown_flow(self):
+        sched = PClockScheduler({1: FlowSLA(sigma=1, rho=10.0, delta=0.1)})
+        with pytest.raises(SchedulerError):
+            sched.tokens(9)
+
+
+class TestDispatchOrder:
+    def test_earliest_deadline_first(self):
+        sched = PClockScheduler({
+            1: FlowSLA(sigma=5, rho=10.0, delta=0.5),
+            2: FlowSLA(sigma=5, rho=10.0, delta=0.1),
+        })
+        slow = req(0.0, 1)   # deadline 0.5
+        fast = req(0.0, 2)   # deadline 0.1
+        sched.on_arrival(slow)
+        sched.on_arrival(fast)
+        assert sched.select(0.0) is fast
+        assert sched.select(0.0) is slow
+
+    def test_best_effort_always_last(self):
+        sched = PClockScheduler({1: FlowSLA(sigma=5, rho=10.0, delta=5.0)})
+        stranger = req(0.0, 9)
+        tenant = req(0.1, 1)
+        sched.on_arrival(stranger)
+        sched.on_arrival(tenant)
+        assert sched.select(0.2) is tenant
+
+    def test_empty(self):
+        sched = PClockScheduler({1: FlowSLA(sigma=1, rho=1.0, delta=1.0)})
+        assert sched.select(0.0) is None
+        assert sched.pending() == 0
+
+
+class TestIsolation:
+    def test_conforming_flow_protected_from_flooder(self):
+        """The defining pClock property: flow 1 stays within its curve;
+        flow 2 floods far beyond its reservation.  Flow 1 still meets its
+        latency bound."""
+        sim = Simulator()
+        flows = {
+            1: FlowSLA(sigma=2, rho=50.0, delta=0.1),
+            2: FlowSLA(sigma=2, rho=50.0, delta=0.1),
+        }
+        capacity = 120.0
+        assert feasible(flows, capacity)
+        sched = PClockScheduler(flows)
+        driver = DeviceDriver(sim, constant_rate_server(sim, capacity), sched)
+
+        # Flow 1: conforming, 40 IOPS paced.
+        for i in range(40):
+            t = 0.025 * i
+            sim.schedule(t, lambda t=t: driver.on_arrival(req(t, 1)))
+        # Flow 2: a 300-request instantaneous flood at t=0.1.
+        for _ in range(300):
+            sim.schedule(0.1, lambda: driver.on_arrival(req(0.1, 2)))
+        sim.run()
+
+        flow1 = [r for r in driver.completed if r.client_id == 1]
+        assert len(flow1) == 40
+        worst = max(r.response_time for r in flow1)
+        assert worst <= 0.1 + 1e-9
+
+
+class TestFeasibility:
+    def test_rate_overload_infeasible(self):
+        flows = {1: FlowSLA(sigma=1, rho=60.0, delta=0.1),
+                 2: FlowSLA(sigma=1, rho=60.0, delta=0.1)}
+        assert not feasible(flows, 100.0)
+
+    def test_burst_overload_infeasible(self):
+        flows = {1: FlowSLA(sigma=50, rho=10.0, delta=0.1)}
+        # Residual capacity 100: 50 > 100 * 0.1.
+        assert not feasible(flows, 100.0)
+
+    def test_feasible_case(self):
+        flows = {1: FlowSLA(sigma=5, rho=40.0, delta=0.1),
+                 2: FlowSLA(sigma=5, rho=40.0, delta=0.2)}
+        assert feasible(flows, 100.0)

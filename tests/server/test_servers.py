@@ -1,0 +1,144 @@
+"""Tests for server models (base, constant rate, disk)."""
+
+import pytest
+
+from repro.core.request import Request
+from repro.exceptions import ConfigurationError, SchedulerError
+from repro.server.base import Server
+from repro.server.constant_rate import ConstantRateModel, constant_rate_server
+from repro.server.disk import DiskModel, DiskParameters
+from repro.sim.engine import Simulator
+
+
+class TestConstantRateModel:
+    def test_service_time(self):
+        model = ConstantRateModel(100.0)
+        assert model.service_time(Request(arrival=0.0)) == pytest.approx(0.01)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRateModel(0.0)
+
+
+class TestServer:
+    def test_dispatch_completes_after_service_time(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 10.0)
+        done = []
+        server.on_completion = done.append
+        request = Request(arrival=0.0)
+        sim.schedule(1.0, lambda: server.dispatch(request))
+        sim.run()
+        assert done == [request]
+        assert request.dispatch == 1.0
+        assert request.completion == pytest.approx(1.1)
+
+    def test_busy_flag_and_current(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 10.0)
+        request = Request(arrival=0.0)
+        assert not server.busy
+        server.dispatch(request)
+        assert server.busy
+        assert server.current is request
+        sim.run()
+        assert not server.busy
+        assert server.current is None
+
+    def test_double_dispatch_rejected(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 10.0)
+        server.dispatch(Request(arrival=0.0))
+        with pytest.raises(SchedulerError, match="dispatch while serving"):
+            server.dispatch(Request(arrival=0.0))
+
+    def test_completed_counter(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 10.0)
+        server.on_completion = lambda r: None
+        for i in range(3):
+            sim.schedule(i * 1.0, lambda: server.dispatch(Request(arrival=sim.now)))
+        sim.run()
+        assert server.completed == 3
+
+    def test_utilization(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 10.0)  # 0.1 s per request
+        server.dispatch(Request(arrival=0.0))
+        sim.run()
+        # Busy 0.1 s; horizon 1.0 s -> 10%.
+        assert server.utilization(horizon=1.0) == pytest.approx(0.1)
+
+    def test_utilization_zero_horizon(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 10.0)
+        assert server.utilization() == 0.0
+
+
+class TestDiskParameters:
+    def test_defaults_valid(self):
+        params = DiskParameters()
+        assert params.rotation_time > 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            DiskParameters(total_blocks=0)
+
+    def test_invalid_seek_range(self):
+        with pytest.raises(ConfigurationError):
+            DiskParameters(seek_min=2e-3, seek_max=1e-3)
+
+
+class TestDiskModel:
+    def test_service_time_positive_and_bounded(self):
+        model = DiskModel(seed=0)
+        p = model.params
+        upper = (
+            p.controller_overhead + p.seek_max + p.rotation_time + 1.0
+        )
+        for lba in (0, 10**6, 5 * 10**7, 0):
+            t = model.service_time(Request(arrival=0.0, lba=lba, size=4096))
+            assert 0 < t < upper
+
+    def test_sequential_cheaper_than_random(self):
+        sequential = DiskModel(seed=1)
+        random_model = DiskModel(seed=1)
+        blocks = sequential.params.blocks_per_track
+        seq_total = sum(
+            sequential.service_time(Request(arrival=0.0, lba=0, size=4096))
+            for _ in range(200)
+        )
+        rng_lbas = [(i * 7919 * blocks) % sequential.params.total_blocks for i in range(200)]
+        rand_total = sum(
+            random_model.service_time(Request(arrival=0.0, lba=lba, size=4096))
+            for lba in rng_lbas
+        )
+        assert seq_total < rand_total
+
+    def test_mean_service_time_reasonable(self):
+        model = DiskModel(seed=0)
+        mean = model.mean_service_time()
+        # A 15k-RPM-class drive: a few ms per random I/O.
+        assert 0.002 < mean < 0.02
+        assert model.nominal_capacity == pytest.approx(1.0 / mean)
+
+    def test_deterministic_given_seed(self):
+        a, b = DiskModel(seed=42), DiskModel(seed=42)
+        for lba in (0, 999999, 12345):
+            r = Request(arrival=0.0, lba=lba, size=8192)
+            assert a.service_time(r) == b.service_time(r)
+
+    def test_zero_size_uses_default(self):
+        model = DiskModel(seed=0)
+        t = model.service_time(Request(arrival=0.0, lba=0, size=0))
+        assert t > 0
+
+    def test_server_integration(self):
+        sim = Simulator()
+        server = Server(sim, DiskModel(seed=3), name="disk")
+        done = []
+        server.on_completion = done.append
+        server.dispatch(Request(arrival=0.0, lba=12345, size=4096))
+        sim.run()
+        assert len(done) == 1
+        assert done[0].completion > 0

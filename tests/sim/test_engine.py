@@ -1,0 +1,137 @@
+"""Tests for the simulation engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5, 1.5]
+
+    def test_never_goes_backwards(self):
+        sim = Simulator()
+        times = []
+
+        def record():
+            times.append(sim.now)
+
+        for t in (3.0, 1.0, 2.0, 1.0):
+            sim.schedule(t, record)
+        sim.run()
+        assert times == sorted(times)
+
+
+class TestScheduling:
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="clock"):
+            sim.schedule(1.0, lambda: None)
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule_after(0.5, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_schedule_after_negative_delay(self):
+        with pytest.raises(SimulationError, match="delay"):
+            Simulator().schedule_after(-1.0, lambda: None)
+
+    def test_cancel_via_returned_event(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append("fired"))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule_after(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestRunControls:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        sim.run()  # resume
+        assert seen == [1, 5]
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run(until=2.0)
+        assert seen == [2]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_after(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=50)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        error = {}
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                error["e"] = exc
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert "e" in error
+
+
+class TestEvery:
+    def test_periodic_callback(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), until=3.5)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError, match="interval"):
+            Simulator().every(0.0, lambda: None, until=1.0)

@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestAnalyze:
+    def test_library_trace(self, capsys):
+        assert main(["analyze", "fintrans:10"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_rate_iops" in out
+        assert "arrival rate" in out
+
+    def test_spc_file(self, capsys, tmp_path):
+        path = tmp_path / "t.spc"
+        main(["generate", "fintrans", str(path), "--duration", "10"])
+        capsys.readouterr()
+        assert main(["analyze", str(path)]) == 0
+        assert "peak_to_mean" in capsys.readouterr().out
+
+
+class TestPlan:
+    def test_default_fractions(self, capsys):
+        assert main(["plan", "websearch:10", "--delta-ms", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Cmin" in out
+        assert "100.0%" in out
+        assert "frees" in out
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("policy", ["miser", "fcfs", "split"])
+    def test_policies(self, capsys, policy):
+        code = main(
+            ["simulate", "fintrans:10", "--policy", policy, "--delta-ms", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guaranteed-class misses" in out
+
+    def test_capacity_override(self, capsys):
+        code = main(
+            ["simulate", "fintrans:10", "--cmin", "500", "--delta-c", "50"]
+        )
+        assert code == 0
+        assert "500+50" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "out.spc"
+        assert main(
+            ["generate", "openmail", str(path), "--duration", "5", "--seed", "3"]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        from repro.traces import spc
+
+        workload = spc.read_workload(path)
+        assert len(workload) > 100
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "cello", "/tmp/x.spc"])
+
+
+class TestReport:
+    def test_full_report(self, capsys):
+        assert main(["report", "fintrans:15", "--delta-ms", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Burstiness profile" in out
+        assert "Capacity knee" in out
+        assert "Price menu" in out
+        assert "best policy" in out
+
+    def test_report_sections_ordered(self, capsys):
+        main(["report", "websearch:10", "--delta-ms", "50"])
+        out = capsys.readouterr().out
+        assert out.index("1. Burstiness") < out.index("2. Capacity")
+        assert out.index("3. Price") < out.index("4. ")

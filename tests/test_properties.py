@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's theorems as executable properties over
+arbitrary workloads:
+
+* RTT optimality (Lemmas 1-3): RTT admits as many requests as an
+  exhaustive offline search, in both server models.
+* The Q1 deadline guarantee: every admitted request meets ``delta``.
+* Planner correctness: ``Cmin`` is sufficient and minimal.
+* Slack-tracker equivalence with the naive O(n) Algorithm 2 bookkeeping.
+* Fair-queue weighted-share bounds.
+* Workload transform algebra (merge/shift preserve counts and order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import lower_bound_drops, max_admissible_bruteforce
+from repro.core.capacity import CapacityPlanner
+from repro.core.rtt import decompose, decompose_fluid, primary_response_times
+from repro.core.slack import SlackTracker, no_constraint
+from repro.core.workload import Workload
+from repro.sched.fair import FairQueue
+from repro.core.request import Request
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+#: Small sorted arrival sequences (ties allowed) on a millisecond grid.
+small_arrivals = st.lists(
+    st.integers(min_value=0, max_value=3000), min_size=1, max_size=11
+).map(lambda xs: np.sort(np.asarray(xs, dtype=float)) / 1000.0)
+
+#: Larger arrival sequences for non-exhaustive properties.
+arrivals = st.lists(
+    st.integers(min_value=0, max_value=20000), min_size=1, max_size=120
+).map(lambda xs: np.sort(np.asarray(xs, dtype=float)) / 1000.0)
+
+capacities = st.integers(min_value=1, max_value=12).map(float)
+deltas = st.sampled_from([0.125, 0.25, 0.5, 1.0])
+
+
+# ---------------------------------------------------------------------------
+# RTT properties
+# ---------------------------------------------------------------------------
+
+
+@given(small_arrivals, capacities, deltas)
+@settings(max_examples=60, deadline=None)
+def test_rtt_discrete_is_offline_optimal(arr, capacity, delta):
+    w = Workload(arr)
+    opt = max_admissible_bruteforce(w, capacity, delta, discrete=True)
+    assert decompose(w, capacity, delta).n_admitted == opt
+
+
+@given(small_arrivals, capacities, deltas)
+@settings(max_examples=60, deadline=None)
+def test_rtt_fluid_is_offline_optimal(arr, capacity, delta):
+    w = Workload(arr)
+    opt = max_admissible_bruteforce(w, capacity, delta, discrete=False)
+    assert decompose_fluid(w, capacity, delta).n_admitted == opt
+
+
+@given(arrivals, capacities, deltas)
+@settings(max_examples=60, deadline=None)
+def test_rtt_admitted_requests_meet_deadline(arr, capacity, delta):
+    result = decompose(Workload(arr), capacity, delta)
+    responses = primary_response_times(result)
+    if responses.size:
+        assert responses.max() <= delta + 1e-9
+
+
+@given(arrivals, capacities, deltas)
+@settings(max_examples=40, deadline=None)
+def test_rtt_drops_respect_busy_period_lower_bound(arr, capacity, delta):
+    w = Workload(arr)
+    assert decompose(w, capacity, delta).n_overflow >= lower_bound_drops(
+        w, capacity, delta
+    )
+
+
+@given(arrivals, capacities, deltas)
+@settings(max_examples=40, deadline=None)
+def test_rtt_monotone_in_capacity(arr, capacity, delta):
+    w = Workload(arr)
+    low = decompose(w, capacity, delta).n_admitted
+    high = decompose(w, capacity * 2, delta).n_admitted
+    assert high >= low
+
+
+@given(arrivals, capacities, deltas)
+@settings(max_examples=40, deadline=None)
+def test_fluid_admits_at_least_discrete(arr, capacity, delta):
+    """Fluid service can only help: partial service counts toward the
+    backlog bound, so the fluid model's admitted set is never smaller."""
+    w = Workload(arr)
+    assert (
+        decompose_fluid(w, capacity, delta).n_admitted
+        >= decompose(w, capacity, delta).n_admitted
+    )
+
+
+# ---------------------------------------------------------------------------
+# Planner properties
+# ---------------------------------------------------------------------------
+
+
+@given(arrivals, deltas, st.sampled_from([0.5, 0.8, 0.9, 1.0]))
+@settings(max_examples=30, deadline=None)
+def test_planner_sufficient_and_minimal(arr, delta, fraction):
+    w = Workload(arr)
+    planner = CapacityPlanner(w, delta)
+    cmin = planner.min_capacity(fraction)
+    required = planner._required_count(fraction)
+    assert planner.admitted_at(cmin) >= required
+    if cmin > 1:
+        assert planner.admitted_at(cmin - 1) < required
+
+
+# ---------------------------------------------------------------------------
+# Slack tracker vs naive Algorithm 2 bookkeeping
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def slack_ops(draw):
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("insert"), st.integers(0, 10)),
+                st.just(("remove",)),
+                st.just(("decrement",)),
+                st.just(("min",)),
+            ),
+            max_size=120,
+        )
+    )
+
+
+@given(slack_ops())
+@settings(max_examples=60, deadline=None)
+def test_slack_tracker_equals_naive(ops):
+    tracker = SlackTracker()
+    naive: dict[int, int] = {}
+    key = 0
+    for op in ops:
+        if op[0] == "insert":
+            tracker.insert(key, op[1])
+            naive[key] = op[1]
+            key += 1
+        elif op[0] == "remove":
+            if naive:
+                victim = next(iter(naive))
+                tracker.remove(victim)
+                del naive[victim]
+        elif op[0] == "decrement":
+            tracker.decrement_all()
+            naive = {k: v - 1 for k, v in naive.items()}
+        else:
+            expected = min(naive.values()) if naive else no_constraint()
+            assert tracker.min_slack() == expected
+    expected = min(naive.values()) if naive else no_constraint()
+    assert tracker.min_slack() == expected
+
+
+# ---------------------------------------------------------------------------
+# Fair queue properties
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.sampled_from(["sfq", "wf2q"]),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=10, max_value=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_fair_queue_share_bound(variant, w1, w2, rounds):
+    """While both flows stay backlogged, each flow's service count stays
+    within one maximum-cost unit of its weighted fair share."""
+    q = FairQueue({1: float(w1), 2: float(w2)}, variant=variant)
+    for _ in range(rounds):
+        q.add(1, Request(arrival=0.0))
+        q.add(2, Request(arrival=0.0))
+    served = {1: 0, 2: 0}
+    total = w1 + w2
+    for n in range(1, rounds + 1):  # stop while both still backlogged
+        fid, _ = q.select()
+        served[fid] += 1
+        assert abs(served[1] - n * w1 / total) <= max(1 / w1, 1 / w2) * max(w1, w2)
+
+
+@given(st.sampled_from(["sfq", "wf2q"]), st.integers(min_value=1, max_value=30))
+@settings(max_examples=30, deadline=None)
+def test_fair_queue_conserves_requests(variant, n):
+    q = FairQueue({1: 1.0, 2: 2.0}, variant=variant)
+    expected = []
+    for i in range(n):
+        r = Request(arrival=float(i))
+        expected.append(r)
+        q.add(1 + i % 2, r)
+    served = []
+    while (choice := q.select()) is not None:
+        served.append(choice[1])
+    assert sorted(r.arrival for r in served) == [r.arrival for r in expected]
+
+
+# ---------------------------------------------------------------------------
+# Workload algebra
+# ---------------------------------------------------------------------------
+
+
+@given(arrivals, arrivals)
+@settings(max_examples=40, deadline=None)
+def test_merge_is_sorted_union(a, b):
+    merged = Workload(a).merge(Workload(b))
+    assert len(merged) == a.size + b.size
+    assert np.array_equal(
+        merged.arrivals, np.sort(np.concatenate([a, b]))
+    )
+
+
+@given(arrivals, st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=40, deadline=None)
+def test_shift_preserves_gaps(arr, offset):
+    w = Workload(arr)
+    shifted = w.shift(offset)
+    assert np.allclose(np.diff(shifted.arrivals), np.diff(w.arrivals))
+
+
+@given(arrivals, st.floats(min_value=0.01, max_value=50.0))
+@settings(max_examples=40, deadline=None)
+def test_wrap_shift_preserves_count(arr, offset):
+    w = Workload(arr)
+    assert len(w.shift(offset, wrap=True)) == len(w)

@@ -1,0 +1,116 @@
+"""Cross-layer consistency: the analytic, offline and simulated paths
+must tell the same story.
+
+These are the strongest integration tests in the suite: they pin the
+live simulated system to independently computed ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.request import QoSClass
+from repro.core.rtt import decompose
+from repro.core.workload import Workload
+from repro.sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
+from repro.server.cluster import SplitSystem
+from repro.server.constant_rate import constant_rate_server
+from repro.server.driver import DeviceDriver
+from repro.sim.engine import Simulator
+from repro.sim.source import WorkloadSource
+
+
+@pytest.fixture(scope="module")
+def workload():
+    gen = np.random.default_rng(21)
+    floor = gen.uniform(0.0, 25.0, 600)
+    bursts = np.concatenate(
+        [t0 + gen.uniform(0.0, 0.3, 120) for t0 in (6.0, 14.0, 21.0)]
+    )
+    return Workload(np.sort(np.concatenate([floor, bursts])), name="stack")
+
+
+class TestLiveClassifierMatchesOfflineDecomposition:
+    @pytest.mark.parametrize("cmin,delta", [(50.0, 0.1), (40.0, 0.2), (120.0, 0.05)])
+    def test_split_q1_equals_offline_rtt(self, workload, cmin, delta):
+        """On the Split topology the primary server runs at exactly the
+        decomposition capacity, so the *live* classifier (integer queue
+        occupancy against the real server) must admit exactly the set the
+        *offline* profiler admits — for integral C*delta the two admission
+        rules coincide request for request."""
+        assert (cmin * delta) == int(cmin * delta)  # test precondition
+        offline = decompose(workload, cmin, delta)
+
+        sim = Simulator()
+        system = SplitSystem(sim, cmin, 10.0, delta)
+        WorkloadSource(sim, workload, system).start()
+        sim.run()
+
+        live_primary = sorted(
+            r.index for r in system.completed if r.qos_class is QoSClass.PRIMARY
+        )
+        offline_primary = list(np.flatnonzero(offline.admitted))
+        assert live_primary == offline_primary
+
+    def test_live_primary_never_misses_on_split(self, workload):
+        sim = Simulator()
+        system = SplitSystem(sim, 50.0, 10.0, 0.1)
+        WorkloadSource(sim, workload, system).start()
+        sim.run()
+        assert system.primary_deadline_misses() == 0
+
+
+class TestWorkConservation:
+    def test_all_single_server_policies_share_makespan(self, workload):
+        """Every single-server policy is work-conserving, so the last
+        completion instant is identical across all of them."""
+        makespans = {}
+        for policy in SINGLE_SERVER_POLICIES:
+            sim = Simulator()
+            driver = DeviceDriver(
+                sim,
+                constant_rate_server(sim, 70.0),
+                make_scheduler(policy, 55.0, 15.0, 0.1),
+            )
+            WorkloadSource(sim, workload, driver).start()
+            sim.run()
+            makespans[policy] = max(r.completion for r in driver.completed)
+        values = list(makespans.values())
+        assert all(v == pytest.approx(values[0]) for v in values), makespans
+
+    def test_total_service_time_is_invariant(self, workload):
+        """N requests at 1/C each: total busy time is N/C regardless of
+        the policy (checked via server utilization)."""
+        for policy in ("fcfs", "miser"):
+            sim = Simulator()
+            server = constant_rate_server(sim, 70.0)
+            driver = DeviceDriver(
+                sim, server, make_scheduler(policy, 55.0, 15.0, 0.1)
+            )
+            WorkloadSource(sim, workload, driver).start()
+            sim.run()
+            expected_busy = len(workload) / 70.0
+            assert server.utilization(horizon=sim.now) * sim.now == pytest.approx(
+                expected_busy
+            )
+
+
+class TestConservationAcrossPolicies:
+    def test_every_policy_serves_every_request_exactly_once(self, workload):
+        from repro.shaping import run_policy
+
+        for policy in SINGLE_SERVER_POLICIES + ("split",):
+            result = run_policy(workload, policy, 55.0, 15.0, 0.1)
+            assert len(result.overall) == len(workload), policy
+
+    def test_response_time_mean_ordering(self, workload):
+        """Shaped policies trade a longer overflow tail for a better
+        deadline profile, but never change the total work — their mean
+        response can exceed FCFS's (which is mean-optimal for identical
+        service times on one queue)."""
+        from repro.shaping import run_policy
+
+        fcfs = run_policy(workload, "fcfs", 55.0, 15.0, 0.1)
+        for policy in ("fairqueue", "miser"):
+            shaped = run_policy(workload, policy, 55.0, 15.0, 0.1)
+            assert shaped.overall.stats.mean >= fcfs.overall.stats.mean - 1e-9
+            assert shaped.fraction_within() >= fcfs.fraction_within()

@@ -1,0 +1,117 @@
+"""Tests for the multi-tenant shared server."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import CapacityPlanner
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+from repro.tenancy import SharedServer, Tenant
+
+
+def make_tenant(seed, name, n=400, horizon=20.0, fraction=0.9, delta=0.1):
+    gen = np.random.default_rng(seed)
+    floor = gen.uniform(0.0, horizon, n)
+    burst = (horizon / 2) + gen.uniform(0.0, 0.3, n // 2)
+    w = Workload(np.sort(np.concatenate([floor, burst])), name=name)
+    return Tenant(workload=w, fraction=fraction, delta=delta)
+
+
+@pytest.fixture(scope="module")
+def tenants():
+    return [make_tenant(1, "alpha"), make_tenant(2, "beta"), make_tenant(3, "gamma")]
+
+
+@pytest.fixture(scope="module")
+def result(tenants):
+    return SharedServer(tenants).run()
+
+
+class TestValidation:
+    def test_needs_tenants(self):
+        with pytest.raises(ConfigurationError):
+            SharedServer([])
+
+    def test_unique_names(self):
+        t = make_tenant(1, "dup")
+        with pytest.raises(ConfigurationError, match="unique"):
+            SharedServer([t, make_tenant(2, "dup")])
+
+    def test_tenant_validation(self):
+        w = Workload([1.0], name="x")
+        with pytest.raises(ConfigurationError):
+            Tenant(workload=w, fraction=0.0, delta=0.1)
+        with pytest.raises(ConfigurationError):
+            Tenant(workload=w, fraction=0.9, delta=0.0)
+
+    def test_headroom_validation(self, tenants):
+        with pytest.raises(ConfigurationError):
+            SharedServer(tenants, headroom=0.5)
+
+
+class TestProvisioning:
+    def test_plans_match_planner(self, tenants):
+        server = SharedServer(tenants)
+        for t in tenants:
+            expected = CapacityPlanner(t.workload, t.delta).min_capacity(t.fraction)
+            assert server.plans[t.name] == expected
+
+    def test_total_is_additive_plus_surplus(self, tenants):
+        server = SharedServer(tenants)
+        assert server.total_capacity == pytest.approx(
+            sum(server.plans.values()) + server.delta_c
+        )
+
+    def test_flow_slas_derive_from_plans(self, tenants):
+        server = SharedServer(tenants)
+        slas = server.flow_slas()
+        for client_id, t in enumerate(tenants):
+            assert slas[client_id].rho == server.plans[t.name]
+            assert slas[client_id].delta == t.delta
+
+    def test_feasibility_reported(self, result):
+        assert result.feasible
+
+
+class TestServiceGuarantees:
+    def test_all_requests_served(self, tenants, result):
+        for t in tenants:
+            report = result.report(t.name)
+            assert report.n_requests == len(t.workload)
+
+    def test_targets_near_met_at_additive_capacity(self, tenants, result):
+        """At exactly the additive estimate (headroom 1.0) with all three
+        tenants bursting *simultaneously* — the worst case the estimate
+        assumes — guarantees hold to within the online-recombination
+        whisker the paper accepts for Miser."""
+        for t in tenants:
+            report = result.report(t.name)
+            assert report.guaranteed_fraction_served >= t.fraction - 0.08, t.name
+            assert report.primary_misses <= 0.10 * max(1, len(report.primary))
+
+    def test_headroom_restores_exact_guarantees(self, tenants):
+        """Modest headroom (15%) absorbs the simultaneous-full-queue
+        corner and eliminates primary misses."""
+        result = SharedServer(tenants, headroom=1.15).run()
+        for t in tenants:
+            report = result.report(t.name)
+            assert report.primary_misses == 0, t.name
+            assert report.guaranteed_fraction_served >= t.fraction - 0.03
+
+
+class TestIsolation:
+    def test_flooding_tenant_cannot_hurt_conforming_ones(self, tenants):
+        """Triple gamma's traffic: alpha and beta keep their guarantees;
+        the damage lands on gamma's own overflow class."""
+        baseline = SharedServer(tenants).run()
+        flooded = SharedServer(tenants).run(overload={"gamma": 3.0})
+        for name in ("alpha", "beta"):
+            before = baseline.report(name).guaranteed_fraction_served
+            after = flooded.report(name).guaranteed_fraction_served
+            assert after >= before - 0.03, name
+        # The flooder pays: its own overflow share grows.
+        gamma_before = baseline.report("gamma")
+        gamma_after = flooded.report("gamma")
+        before_share = len(gamma_before.overflow) / gamma_before.n_requests
+        after_share = len(gamma_after.overflow) / gamma_after.n_requests
+        assert after_share > before_share

@@ -1,0 +1,63 @@
+"""Tests for unit helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions, units
+
+
+class TestUnits:
+    def test_ms(self):
+        assert units.ms(10) == pytest.approx(0.010)
+
+    def test_us(self):
+        assert units.us(250) == pytest.approx(0.00025)
+
+    def test_to_ms_roundtrip(self):
+        assert units.to_ms(units.ms(42.5)) == pytest.approx(42.5)
+
+    def test_iops_identity(self):
+        assert units.iops(100) == 100.0
+        assert isinstance(units.iops(100), float)
+
+    def test_service_time(self):
+        assert units.service_time(100.0) == pytest.approx(0.01)
+
+    def test_service_time_invalid(self):
+        with pytest.raises(ValueError):
+            units.service_time(0.0)
+
+    def test_constants(self):
+        assert units.MILLISECOND == 1e-3
+        assert units.MICROSECOND == 1e-6
+        assert 0 < units.TIME_EPSILON < units.MICROSECOND
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            exceptions.WorkloadError,
+            exceptions.TraceFormatError,
+            exceptions.CapacityError,
+            exceptions.SchedulerError,
+            exceptions.SimulationError,
+            exceptions.AdmissionError,
+            exceptions.ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, exceptions.ReproError)
+
+    def test_trace_format_error_line_number(self):
+        err = exceptions.TraceFormatError("bad field", line_number=12)
+        assert "line 12" in str(err)
+        assert err.line_number == 12
+
+    def test_trace_format_error_without_line(self):
+        err = exceptions.TraceFormatError("bad field")
+        assert str(err) == "bad field"
+        assert err.line_number is None
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.CapacityError("no bracket")

@@ -1,0 +1,94 @@
+"""Tests for the synthetic-twin fitter."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+from repro.traces.library import fintrans
+from repro.traces.synthetic.fit import (
+    FIT_FRACTIONS,
+    FittedModel,
+    fit_workload,
+    measure,
+    validate_fit,
+)
+
+
+@pytest.fixture(scope="module")
+def target():
+    return fintrans(duration=60.0)
+
+
+@pytest.fixture(scope="module")
+def model(target):
+    return fit_workload(target)
+
+
+class TestFit:
+    def test_requires_enough_requests(self):
+        with pytest.raises(ConfigurationError, match="100"):
+            fit_workload(Workload([1.0] * 10))
+
+    def test_floor_share_validation(self, target):
+        with pytest.raises(ConfigurationError):
+            fit_workload(target, floor_share=1.0)
+
+    def test_parameters_positive(self, model):
+        assert model.floor_rate > 0
+        assert model.train_rate > 0
+        assert 0 < model.train_width <= model.train_period
+        assert model.episode_size_min >= 2
+        assert model.episode_size_cap > model.episode_size_min
+
+    def test_targets_recorded(self, model, target):
+        mean, curve = measure(target, model.delta)
+        assert model.target_mean == mean
+        assert model.target_curve == curve
+
+
+class TestGenerate:
+    def test_deterministic_by_seed(self, model):
+        a = model.generate(30.0, seed=5)
+        b = model.generate(30.0, seed=5)
+        assert np.array_equal(a.arrivals, b.arrivals)
+
+    def test_name(self, model):
+        assert model.generate(10.0).name.endswith("-twin")
+
+    def test_duration_respected(self, model):
+        twin = model.generate(30.0)
+        assert twin.duration <= 30.5
+
+
+class TestFidelity:
+    def test_mean_rate_close(self, model):
+        report = validate_fit(model, duration=60.0)
+        assert report.twin_mean == pytest.approx(report.target_mean, rel=0.12)
+
+    def test_capacity_curve_close(self, model):
+        """Every cell of the knee curve within ~35% — the twin preserves
+        the shape that drives provisioning decisions."""
+        report = validate_fit(model, duration=60.0)
+        for fraction in FIT_FRACTIONS:
+            ratio = report.curve_ratio(fraction)
+            assert 0.6 < ratio < 1.55, (fraction, ratio)
+        assert report.worst_curve_ratio < 1.7
+
+    def test_knee_preserved(self, model):
+        report = validate_fit(model, duration=60.0)
+        target_knee = report.target_curve[1.0] / report.target_curve[0.9]
+        twin_knee = report.twin_curve[1.0] / report.twin_curve[0.9]
+        assert twin_knee == pytest.approx(target_knee, rel=0.5)
+        assert twin_knee > 2.0  # the burstiness survived the round trip
+
+
+class TestOnArbitraryWorkload:
+    def test_fits_poisson_like_trace(self):
+        """A smooth trace fits too: tiny knee, near-degenerate episodes."""
+        gen = np.random.default_rng(0)
+        smooth = Workload(np.sort(gen.uniform(0, 60.0, 12000)), name="smooth")
+        model = fit_workload(smooth)
+        assert isinstance(model, FittedModel)
+        report = validate_fit(model, duration=60.0)
+        assert report.twin_mean == pytest.approx(report.target_mean, rel=0.25)

@@ -1,0 +1,109 @@
+"""Tests for the HP-style trace parser and shared format helpers."""
+
+import io
+
+import pytest
+
+from repro.core.request import IOKind
+from repro.exceptions import TraceFormatError
+from repro.traces import hpl
+from repro.traces.formats import TraceRecord, records_to_workload, validate_monotone
+
+SAMPLE = """# OpenMail export
+1000.000000 3 448292 8192 R
+1000.012000 3 99220 4096 W
+1000.031000 5 11 2048 r
+"""
+
+
+class TestHplParse:
+    def test_fields(self):
+        record = hpl.parse_line("12.5 3 448292 8192 R")
+        assert record.timestamp == 12.5
+        assert record.unit == 3
+        assert record.lba == 448292
+        assert record.size == 8192
+        assert record.kind is IOKind.READ
+
+    def test_comment_returns_none(self):
+        assert hpl.parse_line("# header") is None
+
+    def test_blank_returns_none(self):
+        assert hpl.parse_line("   ") is None
+
+    def test_extra_columns_ignored(self):
+        record = hpl.parse_line("1.0 0 1 512 W queue=3 foo")
+        assert record.kind is IOKind.WRITE
+
+    def test_too_few_fields(self):
+        with pytest.raises(TraceFormatError, match="fields"):
+            hpl.parse_line("1.0 0 1 512")
+
+    def test_negative_timestamp(self):
+        with pytest.raises(TraceFormatError, match="negative"):
+            hpl.parse_line("-1.0 0 1 512 R")
+
+    def test_bad_field(self):
+        with pytest.raises(TraceFormatError):
+            hpl.parse_line("1.0 x 1 512 R")
+
+
+class TestHplRead:
+    def test_stream(self):
+        records = list(hpl.iter_records(io.StringIO(SAMPLE)))
+        assert len(records) == 3
+
+    def test_file(self, tmp_path):
+        path = tmp_path / "om.txt"
+        path.write_text(SAMPLE)
+        w = hpl.read_workload(path, name="om")
+        assert len(w) == 3
+        assert w.name == "om"
+
+    def test_rebased_to_zero(self):
+        w = hpl.read_workload(io.StringIO(SAMPLE))
+        assert w.arrivals[0] == 0.0
+        assert w.arrivals[1] == pytest.approx(0.012)
+
+    def test_max_records(self):
+        w = hpl.read_workload(io.StringIO(SAMPLE), max_records=2)
+        assert len(w) == 2
+
+
+class TestFormats:
+    def test_record_validation(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(timestamp=-1.0, lba=0, size=0, kind=IOKind.READ)
+        with pytest.raises(TraceFormatError):
+            TraceRecord(timestamp=0.0, lba=0, size=-1, kind=IOKind.READ)
+
+    def test_records_to_workload_rebase(self):
+        records = [
+            TraceRecord(timestamp=5.0, lba=0, size=0, kind=IOKind.READ),
+            TraceRecord(timestamp=6.5, lba=0, size=0, kind=IOKind.READ),
+        ]
+        w = records_to_workload(records)
+        assert w.arrivals.tolist() == [0.0, 1.5]
+
+    def test_records_to_workload_no_rebase(self):
+        records = [TraceRecord(timestamp=5.0, lba=0, size=0, kind=IOKind.READ)]
+        w = records_to_workload(records, rebase=False)
+        assert w.arrivals.tolist() == [5.0]
+
+    def test_records_to_workload_empty(self):
+        assert len(records_to_workload([])) == 0
+
+    def test_validate_monotone_passes(self):
+        records = [
+            TraceRecord(timestamp=t, lba=0, size=0, kind=IOKind.READ)
+            for t in (0.0, 1.0, 1.0, 2.0)
+        ]
+        assert len(list(validate_monotone(records))) == 4
+
+    def test_validate_monotone_rejects(self):
+        records = [
+            TraceRecord(timestamp=1.0, lba=0, size=0, kind=IOKind.READ),
+            TraceRecord(timestamp=0.5, lba=0, size=0, kind=IOKind.READ),
+        ]
+        with pytest.raises(TraceFormatError, match="monotone"):
+            list(validate_monotone(records))

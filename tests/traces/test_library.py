@@ -1,0 +1,97 @@
+"""Tests for the calibrated workload library.
+
+Full-scale calibration numbers live in benchmarks/; here we check the
+factories' contract at small scale (fast).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import CapacityPlanner
+from repro.traces.library import (
+    ABBREVIATIONS,
+    WORKLOADS,
+    fintrans,
+    load,
+    openmail,
+    websearch,
+)
+
+DURATION = 30.0
+
+
+class TestFactories:
+    @pytest.mark.parametrize("factory", [websearch, fintrans, openmail])
+    def test_deterministic(self, factory):
+        a = factory(duration=DURATION)
+        b = factory(duration=DURATION)
+        assert np.array_equal(a.arrivals, b.arrivals)
+
+    @pytest.mark.parametrize("factory", [websearch, fintrans, openmail])
+    def test_seed_varies(self, factory):
+        a = factory(duration=DURATION, seed=1)
+        b = factory(duration=DURATION, seed=2)
+        assert not np.array_equal(a.arrivals, b.arrivals)
+
+    @pytest.mark.parametrize("factory", [websearch, fintrans, openmail])
+    def test_duration_scales(self, factory):
+        short = factory(duration=DURATION)
+        longer = factory(duration=2 * DURATION)
+        assert len(longer) > 1.5 * len(short)
+        assert longer.duration <= 2 * DURATION + 1.0
+
+    def test_names(self):
+        assert websearch(duration=DURATION).name == "WebSearch"
+        assert fintrans(duration=DURATION).name == "FinTrans"
+        assert openmail(duration=DURATION).name == "OpenMail"
+
+    def test_mean_rate_ordering(self):
+        """OpenMail is the heaviest stream, FinTrans the lightest."""
+        ws = websearch(duration=DURATION).mean_rate
+        ft = fintrans(duration=DURATION).mean_rate
+        om = openmail(duration=DURATION).mean_rate
+        assert ft < ws < om
+
+
+class TestLoad:
+    def test_by_name_case_insensitive(self):
+        w = load("WebSearch", duration=DURATION)
+        assert w.name == "WebSearch"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            load("cello", duration=DURATION)
+
+    def test_registry_complete(self):
+        assert set(WORKLOADS) == {"websearch", "fintrans", "openmail"}
+        assert set(ABBREVIATIONS) == set(WORKLOADS)
+
+    def test_load_with_seed(self):
+        a = load("fintrans", duration=DURATION, seed=99)
+        b = load("fintrans", duration=DURATION, seed=99)
+        assert np.array_equal(a.arrivals, b.arrivals)
+
+
+class TestShapeInvariants:
+    """Small-scale versions of the calibration targets."""
+
+    @pytest.mark.parametrize("name,min_knee", [
+        ("websearch", 2.0), ("fintrans", 4.0), ("openmail", 4.0),
+    ])
+    def test_capacity_knee_exists(self, name, min_knee):
+        w = load(name, duration=60.0)
+        planner = CapacityPlanner(w, 0.010)
+        knee = planner.min_capacity(1.0) / planner.min_capacity(0.9)
+        assert knee >= min_knee
+
+    def test_knee_decays_with_deadline(self):
+        w = load("websearch", duration=60.0)
+        knees = []
+        for delta in (0.005, 0.050):
+            planner = CapacityPlanner(w, delta)
+            knees.append(planner.min_capacity(1.0) / planner.min_capacity(0.9))
+        assert knees[0] > knees[1]
+
+    def test_openmail_peak_to_mean(self):
+        w = openmail(duration=60.0)
+        assert w.peak_to_mean(0.1) > 2.0

@@ -1,0 +1,103 @@
+"""Tests for workload perturbations."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import CapacityPlanner
+from repro.exceptions import ConfigurationError
+from repro.traces.perturb import batch, intensify, jitter, thin
+
+
+class TestThin:
+    def test_keeps_expected_fraction(self, uniform_workload):
+        thinned = thin(uniform_workload, 0.5, seed=0)
+        assert 25 <= len(thinned) <= 75  # binomial(100, 0.5)
+
+    def test_keep_all(self, uniform_workload):
+        assert len(thin(uniform_workload, 1.0)) in (
+            len(uniform_workload),
+            len(uniform_workload) - 0,
+        )
+
+    def test_validation(self, uniform_workload):
+        with pytest.raises(ConfigurationError):
+            thin(uniform_workload, 0.0)
+        with pytest.raises(ConfigurationError):
+            thin(uniform_workload, 1.5)
+
+    def test_deterministic(self, uniform_workload):
+        a = thin(uniform_workload, 0.7, seed=3)
+        b = thin(uniform_workload, 0.7, seed=3)
+        assert np.array_equal(a.arrivals, b.arrivals)
+
+    def test_subset_of_original(self, uniform_workload):
+        thinned = thin(uniform_workload, 0.5, seed=0)
+        original = set(uniform_workload.arrivals.tolist())
+        assert all(t in original for t in thinned.arrivals)
+
+
+class TestJitter:
+    def test_zero_magnitude_identity(self, uniform_workload):
+        assert np.array_equal(
+            jitter(uniform_workload, 0.0).arrivals, uniform_workload.arrivals
+        )
+
+    def test_bounded_displacement(self, uniform_workload):
+        noisy = jitter(uniform_workload, 0.01, seed=0)
+        # Count preserved, sorted, and total displacement bounded.
+        assert len(noisy) == len(uniform_workload)
+        assert np.all(np.diff(noisy.arrivals) >= 0)
+        assert abs(noisy.arrivals.mean() - uniform_workload.arrivals.mean()) < 0.01
+
+    def test_clamped_at_zero(self):
+        from repro.core.workload import Workload
+
+        w = Workload([0.0, 0.001])
+        noisy = jitter(w, 0.5, seed=0)
+        assert noisy.arrivals.min() >= 0.0
+
+    def test_validation(self, uniform_workload):
+        with pytest.raises(ConfigurationError):
+            jitter(uniform_workload, -0.1)
+
+
+class TestBatch:
+    def test_quantizes_to_grid(self, uniform_workload):
+        grid = batch(uniform_workload, 0.5)
+        remainders = np.mod(grid.arrivals, 0.5)
+        assert np.allclose(np.minimum(remainders, 0.5 - remainders), 0.0, atol=1e-9)
+
+    def test_increases_capacity_requirement(self, uniform_workload):
+        """Coalescing many arrivals into shared instants makes the stream
+        burstier at the deadline scale, so Cmin rises on realistic
+        workloads.  (Not a universal law: on tiny inputs flooring one
+        arrival earlier can relieve its successor — see the property
+        test's note.)"""
+        before = CapacityPlanner(uniform_workload, 0.05).min_capacity(1.0)
+        after = CapacityPlanner(batch(uniform_workload, 0.5), 0.05).min_capacity(1.0)
+        assert after >= before
+
+    def test_validation(self, uniform_workload):
+        with pytest.raises(ConfigurationError):
+            batch(uniform_workload, 0.0)
+
+
+class TestIntensify:
+    def test_factor_one_identity_count(self, uniform_workload):
+        assert len(intensify(uniform_workload, 1.0)) == len(uniform_workload)
+
+    def test_scales_request_count(self, uniform_workload):
+        doubled = intensify(uniform_workload, 2.0, seed=0)
+        assert len(doubled) == pytest.approx(2 * len(uniform_workload), rel=0.15)
+
+    def test_fractional_factor(self, uniform_workload):
+        grown = intensify(uniform_workload, 1.3, seed=0)
+        assert len(grown) == pytest.approx(1.3 * len(uniform_workload), rel=0.2)
+
+    def test_preserves_duration(self, uniform_workload):
+        grown = intensify(uniform_workload, 2.0, seed=0, decorrelate=0.1)
+        assert grown.duration <= uniform_workload.duration + 0.2
+
+    def test_validation(self, uniform_workload):
+        with pytest.raises(ConfigurationError):
+            intensify(uniform_workload, 0.5)

@@ -1,0 +1,118 @@
+"""Tests for the SPC (UMass) trace format."""
+
+import io
+
+import pytest
+
+from repro.core.request import IOKind
+from repro.exceptions import TraceFormatError
+from repro.traces import spc
+from repro.traces.formats import TraceRecord
+
+SAMPLE = """0,303567,3072,r,0.000000
+0,1222311,8192,w,0.010912
+1,449280,4096,R,0.026214
+0,303567,3072,r,0.026214
+"""
+
+
+class TestParseLine:
+    def test_fields(self):
+        record = spc.parse_line("0,303567,3072,r,0.026214")
+        assert record.unit == 0
+        assert record.lba == 303567
+        assert record.size == 3072
+        assert record.kind is IOKind.READ
+        assert record.timestamp == pytest.approx(0.026214)
+
+    def test_write_opcode(self):
+        assert spc.parse_line("0,1,512,w,1.5").kind is IOKind.WRITE
+
+    def test_extra_fields_tolerated(self):
+        record = spc.parse_line("0,1,512,r,1.5,extra,fields")
+        assert record.timestamp == 1.5
+
+    def test_too_few_fields(self):
+        with pytest.raises(TraceFormatError, match="fields"):
+            spc.parse_line("0,1,512,r")
+
+    def test_bad_number(self):
+        with pytest.raises(TraceFormatError):
+            spc.parse_line("0,xyz,512,r,1.5")
+
+    def test_bad_opcode(self):
+        with pytest.raises(TraceFormatError, match="opcode"):
+            spc.parse_line("0,1,512,q,1.5")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(TraceFormatError, match="line 7"):
+            spc.parse_line("bad", line_number=7)
+
+
+class TestIterRecords:
+    def test_from_stream(self):
+        records = list(spc.iter_records(io.StringIO(SAMPLE)))
+        assert len(records) == 4
+
+    def test_blank_lines_skipped(self):
+        records = list(spc.iter_records(io.StringIO("\n" + SAMPLE + "\n\n")))
+        assert len(records) == 4
+
+    def test_unit_filter(self):
+        records = list(spc.iter_records(io.StringIO(SAMPLE), units={1}))
+        assert len(records) == 1
+        assert records[0].unit == 1
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "trace.spc"
+        path.write_text(SAMPLE)
+        assert len(list(spc.iter_records(path))) == 4
+
+
+class TestReadWorkload:
+    def test_basic(self):
+        w = spc.read_workload(io.StringIO(SAMPLE), name="sample")
+        assert len(w) == 4
+        assert w.name == "sample"
+        assert w.arrivals[0] == 0.0
+
+    def test_max_records(self):
+        w = spc.read_workload(io.StringIO(SAMPLE), max_records=2)
+        assert len(w) == 2
+
+    def test_out_of_order_timestamps_sorted(self):
+        jittered = "0,1,512,r,1.0\n0,1,512,r,0.5\n"
+        w = spc.read_workload(io.StringIO(jittered))
+        # Sorted, then rebased to the earliest timestamp.
+        assert w.arrivals.tolist() == [0.0, 0.5]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        records = [
+            TraceRecord(timestamp=0.0, lba=10, size=512, kind=IOKind.READ, unit=0),
+            TraceRecord(timestamp=1.25, lba=20, size=4096, kind=IOKind.WRITE, unit=1),
+        ]
+        path = tmp_path / "out.spc"
+        assert spc.write_records(records, path) == 2
+        back = list(spc.iter_records(path))
+        assert back == records
+
+    def test_dumps(self):
+        records = [
+            TraceRecord(timestamp=0.5, lba=1, size=512, kind=IOKind.READ, unit=0)
+        ]
+        text = spc.dumps(records)
+        assert text == "0,1,512,r,0.500000\n"
+
+    def test_workload_to_records_roundtrip(self, uniform_workload):
+        records = spc.workload_to_records(uniform_workload)
+        text = spc.dumps(records)
+        back = spc.read_workload(io.StringIO(text))
+        assert len(back) == len(uniform_workload)
+        import numpy as np
+
+        # read_workload rebases to the first arrival; compare gaps.
+        assert np.allclose(
+            np.diff(back.arrivals), np.diff(uniform_workload.arrivals), atol=1e-5
+        )

@@ -1,0 +1,298 @@
+"""Tests for the synthetic arrival-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.traces.synthetic.bmodel import (
+    bmodel_counts,
+    bmodel_workload,
+    counts_to_arrivals,
+    windowed_bmodel_workload,
+)
+from repro.traces.synthetic.composite import (
+    diurnal_rate,
+    episode_bursts,
+    periodic_bursts,
+    spike_train,
+    superpose,
+)
+from repro.traces.synthetic.onoff import mmpp2_workload, pareto_onoff_workload
+from repro.traces.synthetic.poisson import nonhomogeneous_poisson, poisson_workload
+
+
+class TestPoisson:
+    def test_mean_rate_close(self):
+        w = poisson_workload(200.0, 60.0, seed=0)
+        assert w.mean_rate == pytest.approx(200.0, rel=0.1)
+
+    def test_deterministic_by_seed(self):
+        a = poisson_workload(50.0, 10.0, seed=1)
+        b = poisson_workload(50.0, 10.0, seed=1)
+        assert np.array_equal(a.arrivals, b.arrivals)
+
+    def test_different_seeds_differ(self):
+        a = poisson_workload(50.0, 10.0, seed=1)
+        b = poisson_workload(50.0, 10.0, seed=2)
+        assert not np.array_equal(a.arrivals, b.arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_workload(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            poisson_workload(10.0, 0.0)
+
+    def test_metadata(self):
+        w = poisson_workload(50.0, 10.0)
+        assert w.metadata["generator"] == "poisson"
+
+
+class TestNHPP:
+    def test_diurnal_mean(self):
+        rate = diurnal_rate(100.0, 0.5, 20.0)
+        w = nonhomogeneous_poisson(rate, 60.0, rate_max=151.0, seed=0)
+        assert w.mean_rate == pytest.approx(100.0, rel=0.15)
+
+    def test_rate_above_max_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            nonhomogeneous_poisson(lambda t: 200.0, 10.0, rate_max=100.0, seed=0)
+
+    def test_diurnal_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_rate(0.0, 0.5, 10.0)
+        with pytest.raises(ConfigurationError):
+            diurnal_rate(10.0, 1.5, 10.0)
+
+
+class TestBModel:
+    def test_counts_preserve_total(self):
+        rng = np.random.default_rng(0)
+        counts = bmodel_counts(10000, 64, 0.7, rng)
+        assert counts.sum() == 10000
+        assert counts.size == 64
+
+    def test_even_bias_is_smooth(self):
+        rng = np.random.default_rng(0)
+        smooth = bmodel_counts(100000, 256, 0.5, rng)
+        bursty = bmodel_counts(100000, 256, 0.8, np.random.default_rng(0))
+        assert bursty.max() > 3 * smooth.max()
+
+    def test_non_power_of_two_slots_truncate(self):
+        rng = np.random.default_rng(0)
+        counts = bmodel_counts(1000, 100, 0.6, rng)
+        assert counts.size == 100
+        # Documented: truncation can lose the tail slots' mass.
+        assert counts.sum() <= 1000
+
+    def test_bias_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            bmodel_counts(100, 8, 0.4, rng)
+        with pytest.raises(ConfigurationError):
+            bmodel_counts(100, 8, 1.0, rng)
+
+    def test_workload_mean_rate(self):
+        w = bmodel_workload(100.0, 30.0, bias=0.7, seed=0)
+        assert w.mean_rate == pytest.approx(100.0, rel=0.15)
+
+    def test_workload_burstier_with_higher_bias(self):
+        mild = bmodel_workload(200.0, 30.0, bias=0.55, seed=5)
+        wild = bmodel_workload(200.0, 30.0, bias=0.85, seed=5)
+        assert wild.peak_to_mean(0.1) > mild.peak_to_mean(0.1)
+
+    def test_counts_to_arrivals_no_jitter_batches(self):
+        arrivals = counts_to_arrivals(np.array([2, 0, 3]), 1.0, None)
+        assert arrivals.tolist() == [0.0, 0.0, 2.0, 2.0, 2.0]
+
+    def test_counts_to_arrivals_jitter_within_slot(self):
+        rng = np.random.default_rng(0)
+        arrivals = counts_to_arrivals(np.array([5, 5]), 1.0, rng)
+        assert np.all(arrivals[:5] >= 0) and np.all(arrivals < 2.0)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_workload_validation(self):
+        with pytest.raises(ConfigurationError):
+            bmodel_workload(100.0, 10.0, bias=0.7, slot_width=0.0)
+
+
+class TestWindowedBModel:
+    def test_mean_rate(self):
+        w = windowed_bmodel_workload(150.0, 30.0, bias=0.75, seed=0)
+        assert w.mean_rate == pytest.approx(150.0, rel=0.15)
+
+    def test_smooth_at_window_scale(self):
+        """Burstiness is confined below the window: window-scale counts
+        are Poisson (peak/mean far below the b-model's)."""
+        windowed = windowed_bmodel_workload(
+            200.0, 60.0, bias=0.85, window=0.32, seed=1
+        )
+        scale_free = bmodel_workload(200.0, 60.0, bias=0.85, seed=1)
+        assert windowed.peak_to_mean(1.0) < scale_free.peak_to_mean(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            windowed_bmodel_workload(100.0, 10.0, bias=0.3)
+        with pytest.raises(ConfigurationError):
+            windowed_bmodel_workload(100.0, 10.0, bias=0.7, window=20.0)
+
+
+class TestOnOff:
+    def test_mmpp_mean_rate(self):
+        w = mmpp2_workload(50.0, 500.0, mean_off=1.0, mean_on=1.0, duration=120.0, seed=0)
+        assert w.mean_rate == pytest.approx(275.0, rel=0.2)
+
+    def test_mmpp_burstier_than_poisson(self):
+        mmpp = mmpp2_workload(10.0, 800.0, 2.0, 0.5, 60.0, seed=0)
+        poisson = poisson_workload(mmpp.mean_rate, 60.0, seed=0)
+        assert mmpp.peak_to_mean(0.5) > 1.5 * poisson.peak_to_mean(0.5)
+
+    def test_mmpp_validation(self):
+        with pytest.raises(ConfigurationError):
+            mmpp2_workload(0.0, 0.0, 1.0, 1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            mmpp2_workload(1.0, 10.0, 0.0, 1.0, 10.0)
+
+    def test_pareto_alpha_validation(self):
+        with pytest.raises(ConfigurationError, match="alpha"):
+            pareto_onoff_workload(1.0, 10.0, 1.0, 1.0, 10.0, alpha=2.5)
+
+    def test_pareto_generates(self):
+        w = pareto_onoff_workload(20.0, 400.0, 1.0, 0.5, 60.0, alpha=1.5, seed=3)
+        assert len(w) > 0
+        assert w.metadata["generator"] == "pareto-onoff"
+
+
+class TestComposite:
+    def test_superpose_counts(self):
+        a = poisson_workload(50.0, 10.0, seed=0)
+        b = poisson_workload(50.0, 10.0, seed=1)
+        merged = superpose(a, b, name="both")
+        assert len(merged) == len(a) + len(b)
+        assert merged.name == "both"
+
+    def test_superpose_empty_args(self):
+        with pytest.raises(ConfigurationError):
+            superpose()
+
+    def test_spike_train_counts(self):
+        w = spike_train(3, 100, 0.5, 60.0, seed=0)
+        assert len(w) == 300
+
+    def test_spike_train_zero_spikes(self):
+        assert len(spike_train(0, 10, 0.5, 60.0)) == 0
+
+    def test_spike_train_validation(self):
+        with pytest.raises(ConfigurationError):
+            spike_train(1, 0, 0.5, 60.0)
+        with pytest.raises(ConfigurationError):
+            spike_train(1, 10, 60.0, 60.0)
+
+    def test_spikes_are_dense(self):
+        w = spike_train(1, 200, 0.1, 60.0, seed=0)
+        assert w.arrivals.max() - w.arrivals.min() <= 0.1
+
+
+class TestPeriodicBursts:
+    def test_request_count(self):
+        # 10 bursts of rate*width = 50 requests each.
+        w = periodic_bursts(1.0, 500.0, 0.1, 10.0)
+        assert len(w) == 500
+
+    def test_evenly_spaced_within_burst(self):
+        w = periodic_bursts(1.0, 100.0, 0.1, 2.0, jitter=0.0)
+        first_burst = w.arrivals[:10]
+        gaps = np.diff(first_burst)
+        assert np.allclose(gaps, 0.01)
+
+    def test_phase_offsets_start(self):
+        w = periodic_bursts(1.0, 100.0, 0.1, 2.0, phase=0.25, jitter=0.0)
+        assert w.arrivals[0] == pytest.approx(0.25)
+
+    def test_self_similar_under_period_shift(self):
+        """The property the consolidation experiments rely on: shifting by
+        a whole number of periods re-aligns the burst train exactly
+        (within the overlapping horizon)."""
+        w = periodic_bursts(0.5, 200.0, 0.1, 20.0, jitter=0.0)
+        shifted = w.shift(1.0)  # 2 periods, plain shift
+        horizon_lo, horizon_hi = 1.0, float(w.arrivals.max())
+        original = w.arrivals[(w.arrivals >= horizon_lo)]
+        moved = shifted.arrivals[shifted.arrivals <= horizon_hi + 1e-9]
+        assert np.allclose(np.sort(moved), np.sort(original), atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            periodic_bursts(0.0, 100.0, 0.1, 10.0)
+        with pytest.raises(ConfigurationError):
+            periodic_bursts(1.0, 100.0, 2.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            periodic_bursts(1.0, 100.0, 0.1, 10.0, jitter=-0.1)
+
+
+class TestEpisodeBursts:
+    def test_sizes_bounded(self):
+        w = episode_bursts(
+            1.0, 60.0, size_min=10, size_alpha=1.5, size_cap=50, seed=0
+        )
+        assert len(w) > 0
+
+    def test_zero_rate_empty(self):
+        assert len(episode_bursts(0.0, 60.0)) == 0
+
+    def test_heavier_tail_with_lower_alpha(self):
+        light = episode_bursts(2.0, 120.0, size_min=10, size_alpha=1.9,
+                               size_cap=100000, seed=7)
+        heavy = episode_bursts(2.0, 120.0, size_min=10, size_alpha=1.1,
+                               size_cap=100000, seed=7)
+        assert heavy.peak_rate(0.1) > light.peak_rate(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            episode_bursts(-1.0, 60.0)
+        with pytest.raises(ConfigurationError):
+            episode_bursts(1.0, 60.0, size_alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            episode_bursts(1.0, 60.0, width_min=0.0)
+
+
+class TestGeneralMMPP:
+    def test_mean_rate_matches_stationary_mix(self):
+        from repro.traces.synthetic.onoff import mmpp_workload
+
+        # Equal sojourns, uniform switching: stationary mix is uniform.
+        w = mmpp_workload([30.0, 300.0, 900.0], [1.0, 1.0, 1.0], 120.0, seed=0)
+        assert w.mean_rate == pytest.approx(410.0, rel=0.2)
+
+    def test_two_state_reduces_to_mmpp2_statistics(self):
+        from repro.traces.synthetic.onoff import mmpp2_workload, mmpp_workload
+
+        # Both are draws around the same stationary mean (275 IOPS);
+        # compare each to the analytic value, not to each other.
+        general = mmpp_workload([50.0, 500.0], [1.0, 1.0], 240.0, seed=4)
+        special = mmpp2_workload(50.0, 500.0, 1.0, 1.0, 240.0, seed=4)
+        assert general.mean_rate == pytest.approx(275.0, rel=0.25)
+        assert special.mean_rate == pytest.approx(275.0, rel=0.25)
+
+    def test_custom_transition_matrix(self):
+        from repro.traces.synthetic.onoff import mmpp_workload
+
+        # A cyclic 3-state chain.
+        matrix = [[0, 1, 0], [0, 0, 1], [1, 0, 0]]
+        w = mmpp_workload([10.0, 100.0, 1000.0], [0.5, 0.5, 0.5], 60.0,
+                          transition=matrix, seed=1)
+        assert len(w) > 0
+
+    def test_validation(self):
+        from repro.traces.synthetic.onoff import mmpp_workload
+
+        with pytest.raises(ConfigurationError):
+            mmpp_workload([10.0], [1.0], 10.0)
+        with pytest.raises(ConfigurationError):
+            mmpp_workload([10.0, 20.0], [1.0], 10.0)
+        with pytest.raises(ConfigurationError):
+            mmpp_workload([10.0, 20.0], [1.0, 0.0], 10.0)
+        with pytest.raises(ConfigurationError, match="sum to 1"):
+            mmpp_workload([10.0, 20.0], [1.0, 1.0], 10.0,
+                          transition=[[0, 0.5], [1, 0]])
+        with pytest.raises(ConfigurationError, match="Self-transitions|redundant"):
+            mmpp_workload([10.0, 20.0], [1.0, 1.0], 10.0,
+                          transition=[[0.5, 0.5], [1, 0]])
