@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench experiments examples verify clean
+.PHONY: install test bench bench-json experiments examples verify clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-json:
+	$(PYTHON) benchmarks/bench_kernels.py --output BENCH_kernels.json
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner all

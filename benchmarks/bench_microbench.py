@@ -19,8 +19,10 @@ from repro.shaping import run_policy
 
 @pytest.fixture(scope="module")
 def openmail_batched(workloads):
+    # Contiguous arrays, exactly as CapacityPlanner holds them: the
+    # kernel backends consume these zero-copy.
     instants, counts = workloads["openmail"].arrival_counts()
-    return instants.tolist(), counts.tolist()
+    return instants, counts
 
 
 def test_count_admitted_throughput(benchmark, workloads, openmail_batched):

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.capacity import CapacityPlanner
-from ..core.consolidation import ConsolidationResult, consolidate
+from ..core.consolidation import ConsolidationResult, consolidate, planner_for
 from ..core.workload import Workload
 from ..exceptions import ConfigurationError
 from .reporting import format_table
@@ -54,14 +54,18 @@ def study(
     """Run the full consolidation study over ``workloads``."""
     if len(workloads) < 2:
         raise ConfigurationError("a multiplexing study needs >= 2 workloads")
+    planners: dict = {}  # every client appears in n-1 pairs; share planners
     individual = {
-        w.name: CapacityPlanner(w, delta).min_capacity(fraction) for w in workloads
+        w.name: planner_for(w, delta, planners).min_capacity(fraction)
+        for w in workloads
     }
     pairwise = {}
     for i, a in enumerate(workloads):
         for b in workloads[i + 1 :]:
-            pairwise[(a.name, b.name)] = consolidate([a, b], delta, fraction)
-    whole = consolidate(workloads, delta, fraction)
+            pairwise[(a.name, b.name)] = consolidate(
+                [a, b], delta, fraction, planner_cache=planners
+            )
+    whole = consolidate(workloads, delta, fraction, planner_cache=planners)
     return MultiplexingStudy(
         delta=delta,
         fraction=fraction,

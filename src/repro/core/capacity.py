@@ -8,8 +8,14 @@ surplus to keep the overflow class from starving.
 
 The search is the paper's deterministic bisection: evaluate the admitted
 fraction at a candidate capacity (one O(N) RTT pass), halve the bracket,
-repeat — ``O(log C)`` RTT passes in total.  Evaluations are memoized so
-that planning several fractions over the same workload shares work.
+repeat — ``O(log C)`` RTT passes in total.  Evaluations are memoized, and
+because the admitted count is monotone in capacity every cached
+evaluation doubles as a bracket: planning several fractions over the
+same workload starts each bisection from the tightest (lo, hi) pair the
+cache already proves.  :meth:`CapacityPlanner.prefill` batches many
+candidates through the kernel sweep (one native call) to seed that
+cache, which :meth:`CapacityPlanner.capacity_curve` uses to cut the
+per-fraction searches to a handful of evaluations.
 """
 
 from __future__ import annotations
@@ -18,7 +24,10 @@ import logging
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..exceptions import CapacityError, ConfigurationError
+from ..perf import kernels as _kernels
 from .rtt import count_admitted
 from .workload import Workload
 
@@ -80,16 +89,19 @@ class CapacityPlanner:
     delta: float
     integral: bool = True
     tolerance: float = 0.25
-    _instants: list = field(init=False, repr=False)
-    _counts: list = field(init=False, repr=False)
+    _instants: np.ndarray = field(init=False, repr=False)
+    _counts: np.ndarray = field(init=False, repr=False)
     _cache: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
             raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        # Keep the batched representation as contiguous arrays: the
+        # kernel backends consume them zero-copy (the scalar fallback
+        # converts internally).
         instants, counts = self.workload.arrival_counts()
-        self._instants = instants.tolist()
-        self._counts = counts.tolist()
+        self._instants = np.ascontiguousarray(instants, dtype=np.float64)
+        self._counts = np.ascontiguousarray(counts, dtype=np.int64)
 
     # ------------------------------------------------------------------
 
@@ -113,6 +125,38 @@ class CapacityPlanner:
             return 1.0
         return self.admitted_at(capacity) / self.n_requests
 
+    def prefill(self, capacities) -> None:
+        """Evaluate many candidate capacities in one kernel sweep.
+
+        All results land in the memo cache, where they tighten the warm
+        brackets of every later :meth:`min_capacity` call.  The native
+        backend runs the whole sweep in a single C call.
+        """
+        fresh = sorted(
+            {float(c) for c in capacities if c > 0} - self._cache.keys()
+        )
+        if not fresh:
+            return
+        counts = _kernels.count_admitted_sweep(
+            self._instants, self._counts, fresh, self.delta
+        )
+        self._cache.update(zip(fresh, (int(c) for c in counts)))
+
+    def _bracket(self, required: int) -> tuple[float, float | None]:
+        """Tightest (failing, sufficient) capacity pair the cache proves.
+
+        Relies on the admitted count being monotone in capacity.  ``hi``
+        is None when no cached capacity admits ``required`` yet.
+        """
+        lo, hi = 0.0, None
+        for capacity, admitted in self._cache.items():
+            if admitted >= required:
+                if hi is None or capacity < hi:
+                    hi = capacity
+            elif capacity > lo:
+                lo = capacity
+        return lo, hi
+
     # ------------------------------------------------------------------
 
     def min_capacity(self, fraction: float) -> float:
@@ -130,16 +174,19 @@ class CapacityPlanner:
             return 1.0 if self.integral else self.tolerance
         required = self._required_count(fraction)
 
-        # Exponentially grow the upper bracket until it admits enough.
-        lo, hi = 0.0, max(1.0, self.workload.mean_rate)
-        for _ in range(80):
-            if self.admitted_at(hi) >= required:
-                break
-            lo, hi = hi, hi * 2.0
-        else:  # pragma: no cover - defensive
-            raise CapacityError(
-                f"no feasible capacity below {hi:g} IOPS for fraction {fraction}"
-            )
+        # Start from whatever bracket earlier evaluations already prove;
+        # grow the upper end exponentially if none admits enough yet.
+        lo, hi = self._bracket(required)
+        if hi is None:
+            hi = max(1.0, self.workload.mean_rate, 2.0 * lo)
+            for _ in range(80):
+                if self.admitted_at(hi) >= required:
+                    break
+                lo, hi = hi, hi * 2.0
+            else:  # pragma: no cover - defensive
+                raise CapacityError(
+                    f"no feasible capacity below {hi:g} IOPS for fraction {fraction}"
+                )
 
         if self.integral:
             lo_i, hi_i = int(math.floor(lo)), int(math.ceil(hi))
@@ -191,10 +238,21 @@ class CapacityPlanner:
     def capacity_curve(self, fractions: list[float]) -> dict[float, float]:
         """``Cmin`` for each fraction, sharing cached RTT evaluations.
 
-        Fractions are planned in decreasing order so that the upper
-        bracket found for the strictest target seeds the laxer ones.
+        The strictest target is planned first and its ``Cmin`` anchors a
+        log-spaced candidate grid evaluated in one kernel sweep
+        (:meth:`prefill`); every laxer fraction then bisects inside a
+        bracket at most one grid step wide.
         """
-        result = {f: self.min_capacity(f) for f in sorted(fractions, reverse=True)}
+        if not fractions:
+            return {}
+        ordered = sorted(set(fractions), reverse=True)
+        anchor = self.min_capacity(ordered[0])
+        if len(ordered) > 1 and self.n_requests and anchor > 1.0:
+            grid = np.geomspace(max(self.tolerance, anchor / 1024.0), anchor, num=24)
+            if self.integral:
+                grid = np.unique(np.ceil(grid))
+            self.prefill(grid.tolist())
+        result = {f: self.min_capacity(f) for f in ordered}
         return {f: result[f] for f in fractions}
 
 

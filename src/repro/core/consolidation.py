@@ -21,6 +21,29 @@ from .capacity import CapacityPlanner
 from .workload import Workload
 
 
+def planner_for(
+    workload: Workload,
+    delta: float,
+    cache: dict | None = None,
+    key=None,
+) -> CapacityPlanner:
+    """A :class:`CapacityPlanner`, shared through ``cache`` when given.
+
+    Consolidation sweeps evaluate the same workloads at several QoS
+    fractions; reusing one planner per ``(workload, delta)`` keeps the
+    memoized RTT evaluations (and their bisection brackets) across the
+    whole sweep.  ``key`` overrides the identity key for workloads that
+    are rebuilt per call (e.g. merged streams).
+    """
+    if cache is None:
+        return CapacityPlanner(workload, delta)
+    cache_key = (key if key is not None else id(workload), delta)
+    planner = cache.get(cache_key)
+    if planner is None:
+        planner = cache[cache_key] = CapacityPlanner(workload, delta)
+    return planner
+
+
 @dataclass(frozen=True)
 class ConsolidationResult:
     """Estimate-vs-actual capacities for one client mix.
@@ -64,6 +87,7 @@ def consolidate(
     delta: float,
     fraction: float = 1.0,
     merged: Workload | None = None,
+    planner_cache: dict | None = None,
 ) -> ConsolidationResult:
     """Estimate-vs-actual capacity for serving ``workloads`` together.
 
@@ -78,15 +102,25 @@ def consolidate(
         superposition of ``workloads``; pass a shifted merge to model
         clients whose bursts do not align (the paper's Shift-1s /
         Shift-100s experiments).
+    planner_cache:
+        Optional dict shared across calls; planners (and their memoized
+        RTT evaluations) are reused per workload, which makes sweeps
+        over several fractions much cheaper.
     """
     if len(workloads) < 2:
         raise ConfigurationError("consolidation needs at least two workloads")
     individual = tuple(
-        CapacityPlanner(w, delta).min_capacity(fraction) for w in workloads
+        planner_for(w, delta, planner_cache).min_capacity(fraction)
+        for w in workloads
     )
     if merged is None:
+        merged_key = ("merged", *(id(w) for w in workloads))
         merged = workloads[0].merge(*workloads[1:])
-    actual = CapacityPlanner(merged, delta).min_capacity(fraction)
+    else:
+        merged_key = None
+    actual = planner_for(
+        merged, delta, planner_cache, key=merged_key
+    ).min_capacity(fraction)
     return ConsolidationResult(
         client_names=tuple(w.name for w in workloads),
         delta=delta,

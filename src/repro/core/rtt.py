@@ -42,6 +42,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..perf import kernels as _kernels
 from .workload import Workload
 
 #: Tolerance used when comparing event times / queue occupancies in the
@@ -151,21 +152,13 @@ def count_admitted(
         Server capacity ``C`` (IOPS).
     delta:
         Primary-class response-time bound (seconds).
+
+    The actual recurrence runs in the active kernel backend (see
+    :mod:`repro.perf`): the compiled or vectorized kernels when
+    available, else the pure-Python reference loop.
     """
     _validate(capacity, delta)
-    service = 1.0 / capacity
-    admitted = 0
-    finish = 0.0  # completion instant of the last admitted request
-    eps = _EPS
-    floor = math.floor
-    for t, n in zip(instants, counts):
-        base = finish if finish > t else t
-        room = floor((t + delta - base) * capacity + eps)
-        if room > 0:
-            k = n if n < room else room
-            admitted += k
-            finish = base + k * service
-    return admitted
+    return _kernels.count_admitted(instants, counts, capacity, delta)
 
 
 def decompose(
@@ -180,26 +173,24 @@ def decompose(
 
     Within a batch of simultaneous arrivals the earliest requests in trace
     order are admitted first, exactly as Algorithm 1 would process them.
+
+    The per-batch admitted counts come from the active kernel backend
+    (:mod:`repro.perf`); the per-request mask is then assembled with two
+    vectorized passes.
     """
     _validate(capacity, delta)
     arrivals = workload.arrivals
-    mask = np.zeros(arrivals.size, dtype=bool)
     if arrivals.size == 0:
-        return DecompositionResult(workload, capacity, delta, mask)
-    service = 1.0 / capacity
-    instants, counts = _batched(arrivals)
-    finish = 0.0
-    eps = _EPS
-    floor = math.floor
-    pos = 0  # index of the first request of the current batch
-    for t, n in zip(instants, counts):
-        base = finish if finish > t else t
-        room = floor((t + delta - base) * capacity + eps)
-        if room > 0:
-            k = n if n < room else room
-            mask[pos : pos + k] = True
-            finish = base + k * service
-        pos += n
+        return DecompositionResult(
+            workload, capacity, delta, np.zeros(0, dtype=bool)
+        )
+    instants, counts = np.unique(arrivals, return_counts=True)
+    k = _kernels.admitted_per_batch(instants, counts, capacity, delta)
+    # Request r of batch i (0-based within the batch) is admitted iff
+    # r < k_i: expand both sides to per-request arrays and compare.
+    offsets = np.cumsum(counts) - counts
+    rank = np.arange(arrivals.size, dtype=np.int64) - np.repeat(offsets, counts)
+    mask = rank < np.repeat(k, counts)
     return DecompositionResult(workload, capacity, delta, mask)
 
 

@@ -41,10 +41,13 @@ def run(
 ) -> Figure8Result:
     config = config or ExperimentConfig()
     results = {}
+    planners: dict = {}  # reuse RTT evaluations across the fraction sweep
     for pair in pairs:
         w1, w2 = (config.workload(p) for p in pair)
         for fraction in fractions:
-            results[(pair, fraction)] = consolidate([w1, w2], delta, fraction)
+            results[(pair, fraction)] = consolidate(
+                [w1, w2], delta, fraction, planner_cache=planners
+            )
     return Figure8Result(results=results, delta=delta)
 
 

@@ -4,11 +4,17 @@ Usage::
 
     repro-experiments table1 [--duration 300]
     repro-experiments figure2 figure6
-    repro-experiments all --duration 120 --output EXPERIMENTS-run.md
+    repro-experiments all --jobs 4 --duration 120 --output EXPERIMENTS-run.md
 
 Each experiment prints its rendered table/figure; ``--output`` appends
 everything to a Markdown file with headers, which is how the committed
 EXPERIMENTS.md measurements were produced.
+
+``--jobs N`` fans the selected experiments out over ``N`` worker
+processes.  Every experiment is a pure function of ``(duration,
+seed_offset)`` — workers rebuild their configuration from those scalars
+and reseed deterministically via :func:`repro.sim.rng.derive_seed` — so
+the output is bit-identical to a serial run, in the same order.
 """
 
 from __future__ import annotations
@@ -16,7 +22,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 
+import numpy as np
+
+from ..sim.rng import derive_seed
 from . import extensions, sensitivity, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
 from .common import ExperimentConfig
 
@@ -43,6 +53,39 @@ def run_experiment(name: str, config: ExperimentConfig) -> str:
     """Run one experiment and return its rendered text."""
     run, render = EXPERIMENTS[name]
     return render(run(config))
+
+
+#: Per-process memo of ExperimentConfig by (duration, seed_offset): each
+#: worker (and the serial path) builds the library workloads once and
+#: shares them across the experiments it runs.
+_configs: dict = {}
+
+
+def _config_for(duration: float, seed_offset: int) -> ExperimentConfig:
+    key = (duration, seed_offset)
+    config = _configs.get(key)
+    if config is None:
+        config = _configs[key] = ExperimentConfig(
+            duration=duration, seed_offset=seed_offset
+        )
+    return config
+
+
+def _run_one(name: str, duration: float, seed_offset: int) -> tuple[str, str, float]:
+    """Worker entry point: run one experiment from scalar config knobs.
+
+    Used by both the serial and the ``--jobs`` paths so they share the
+    exact same per-experiment environment.  The legacy global numpy RNG
+    is reseeded from ``(seed_offset, name)`` — deterministic no matter
+    which worker picks the experiment up, and identical in-process.
+    (Library components draw from explicit Generators, so this is a
+    guard against stray global draws, not a behavior change.)
+    """
+    np.random.seed(derive_seed(seed_offset, name) % 2**32)
+    config = _config_for(duration, seed_offset)
+    started = time.time()
+    text = run_experiment(name, config)
+    return name, text, time.time() - started
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -77,12 +120,22 @@ def main(argv: list[str] | None = None) -> int:
         help="offset added to library seeds (independent replicas)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N worker processes (default 1 = serial); "
+             "output is identical to a serial run",
+    )
+    parser.add_argument(
         "--output",
         type=str,
         default=None,
         help="also append rendered output to this Markdown file",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.verify:
         from . import verify as verify_module
@@ -101,17 +154,28 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s) {unknown}; known: {sorted(known)}")
 
     names = list(ORDER) if "all" in args.experiments else args.experiments
-    config = ExperimentConfig(duration=args.duration, seed_offset=args.seed_offset)
 
     sections = []
-    for name in names:
-        started = time.time()
-        text = run_experiment(name, config)
-        elapsed = time.time() - started
+
+    def emit(section: tuple[str, str, float]) -> None:
+        name, text, elapsed = section
         print(f"== {name} ({elapsed:.1f} s) ==")
         print(text)
         print()
-        sections.append((name, text, elapsed))
+        sections.append(section)
+
+    if args.jobs > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
+            futures = [
+                pool.submit(_run_one, name, args.duration, args.seed_offset)
+                for name in names
+            ]
+            # Emit in submission order: output matches the serial run.
+            for future in futures:
+                emit(future.result())
+    else:
+        for name in names:
+            emit(_run_one(name, args.duration, args.seed_offset))
 
     if args.output:
         with open(args.output, "a", encoding="utf-8") as handle:

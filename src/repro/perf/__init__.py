@@ -1,0 +1,39 @@
+"""Performance layer: interchangeable RTT kernel backends.
+
+The capacity planner evaluates the RTT admission recurrence once per
+bisection candidate, which makes :func:`count_admitted` the hottest loop
+in the library.  This package provides three implementations behind a
+registry — ``scalar`` (reference), ``numpy`` (vectorized safe-run
+compression) and ``native`` (compiled C, bit-identical to scalar) — plus
+a multi-capacity sweep kernel used to prefill the planner's bisection
+cache.  Select with the ``REPRO_KERNEL`` environment variable or
+:func:`set_backend`; the default ``auto`` picks the fastest available.
+
+See :mod:`repro.perf.kernels` for the dispatch rules and
+``benchmarks/bench_kernels.py`` (or ``make bench-json``) for measured
+speedups on the bundled traces.
+"""
+
+from .kernels import (
+    ENV_VAR,
+    KernelBackend,
+    active_backend,
+    admitted_per_batch,
+    available_backends,
+    count_admitted,
+    count_admitted_sweep,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "KernelBackend",
+    "active_backend",
+    "admitted_per_batch",
+    "available_backends",
+    "count_admitted",
+    "count_admitted_sweep",
+    "set_backend",
+    "use_backend",
+]

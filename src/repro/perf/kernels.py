@@ -1,0 +1,167 @@
+"""Kernel backend registry and dispatch.
+
+Three interchangeable implementations of the RTT hot-path kernels live
+behind this registry:
+
+``scalar``
+    The original pure-Python per-batch loop (reference semantics).
+``numpy``
+    Vectorized safe-run compression (:mod:`repro.perf.vectorized`).
+``native``
+    A C rendition compiled on demand with the system compiler,
+    bit-identical to ``scalar`` (:mod:`repro.perf.native`).  Only
+    offered when a compiler is present and the build succeeds.
+
+Selection, highest priority first:
+
+1. :func:`set_backend` / :func:`use_backend` (programmatic),
+2. the ``REPRO_KERNEL`` environment variable,
+3. ``auto``: ``native`` when available, else ``numpy``.
+
+Every kernel takes the batched ``(instants, counts)`` workload
+representation (:meth:`repro.core.workload.Workload.arrival_counts`),
+as plain sequences or numpy arrays.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from . import native, scalar, vectorized
+
+#: Environment variable naming the backend ("scalar", "numpy", "native",
+#: or "auto").
+ENV_VAR = "REPRO_KERNEL"
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One implementation of the RTT kernel trio."""
+
+    name: str
+    count: Callable
+    per_batch: Callable
+    sweep: Callable
+
+
+_BACKENDS: dict[str, KernelBackend] = {
+    "scalar": KernelBackend(
+        "scalar",
+        scalar.count_admitted,
+        scalar.admitted_per_batch,
+        scalar.count_admitted_sweep,
+    ),
+    "numpy": KernelBackend(
+        "numpy",
+        vectorized.count_admitted,
+        vectorized.admitted_per_batch,
+        vectorized.count_admitted_sweep,
+    ),
+    "native": KernelBackend(
+        "native",
+        native.count_admitted,
+        native.admitted_per_batch,
+        native.count_admitted_sweep,
+    ),
+}
+
+#: Programmatic override; None defers to the environment / auto rule.
+_override: str | None = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends usable in this environment."""
+    names = ["scalar", "numpy"]
+    if native.available():
+        names.append("native")
+    return tuple(names)
+
+
+def _resolve(name: str | None = None) -> KernelBackend:
+    requested = name or _override or os.environ.get(ENV_VAR, "auto")
+    requested = requested.strip().lower()
+    if requested == "auto":
+        requested = "native" if native.available() else "numpy"
+    try:
+        backend = _BACKENDS[requested]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel backend {requested!r}; "
+            f"choose from {sorted(_BACKENDS)} or 'auto'"
+        ) from None
+    if backend.name == "native" and not native.available():
+        raise ConfigurationError(
+            "native kernel backend requested but no working C compiler "
+            "was found (set REPRO_KERNEL=numpy or install cc/gcc/clang)"
+        )
+    return backend
+
+
+def active_backend() -> str:
+    """Resolved name of the backend the next kernel call will use."""
+    return _resolve().name
+
+
+def set_backend(name: str | None) -> None:
+    """Select a backend for the whole process (None restores auto)."""
+    global _override
+    if name is not None:
+        _resolve(name)  # validate eagerly
+    _override = name
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily select a backend (primarily for tests/benchmarks)."""
+    global _override
+    previous = _override
+    set_backend(name)
+    try:
+        yield
+    finally:
+        _override = previous
+
+
+def _validate(capacity: float, delta: float) -> None:
+    if capacity <= 0:
+        raise ConfigurationError(f"capacity must be positive, got {capacity}")
+    if delta <= 0:
+        raise ConfigurationError(f"delta must be positive, got {delta}")
+
+
+def count_admitted(
+    instants, counts, capacity: float, delta: float, backend: str | None = None
+) -> int:
+    """Requests RTT admits to Q1 over the batched stream."""
+    _validate(capacity, delta)
+    return _resolve(backend).count(instants, counts, capacity, delta)
+
+
+def admitted_per_batch(
+    instants, counts, capacity: float, delta: float, backend: str | None = None
+) -> np.ndarray:
+    """Admitted count ``k_i`` for every batch (mask-building primitive)."""
+    _validate(capacity, delta)
+    return _resolve(backend).per_batch(instants, counts, capacity, delta)
+
+
+def count_admitted_sweep(
+    instants, counts, capacities, delta: float, backend: str | None = None
+) -> np.ndarray:
+    """Admitted counts at many candidate capacities in one call.
+
+    The native backend runs the whole sweep inside one C call; others
+    fall back to one kernel pass per capacity.  Capacities need not be
+    sorted; the result aligns with the input order.
+    """
+    _validate(1.0, delta)  # delta only; capacities checked below
+    caps = np.asarray(capacities, dtype=np.float64)
+    if caps.size and caps.min() <= 0:
+        raise ConfigurationError("capacities must be positive")
+    return _resolve(backend).sweep(instants, counts, caps, delta)

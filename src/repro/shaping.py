@@ -189,11 +189,24 @@ class WorkloadShaper:
         self.delta = delta
         self.fraction = fraction
         self.delta_c = delta_c if delta_c is not None else 1.0 / delta
+        self._planners: dict[int, CapacityPlanner] = {}
+
+    def planner(self, workload: Workload) -> CapacityPlanner:
+        """Per-workload planner, memoized for the shaper's lifetime.
+
+        Repeated :meth:`plan` / :meth:`decompose` / :meth:`shape` calls
+        on the same workload then share the planner's cached RTT
+        evaluations and bisection brackets.
+        """
+        planner = self._planners.get(id(workload))
+        if planner is None or planner.workload is not workload:
+            planner = CapacityPlanner(workload, self.delta)
+            self._planners[id(workload)] = planner
+        return planner
 
     def plan(self, workload: Workload) -> CapacityPlan:
         """Profile: the minimum-capacity provisioning decision."""
-        planner = CapacityPlanner(workload, self.delta)
-        return planner.plan(self.fraction, delta_c=self.delta_c)
+        return self.planner(workload).plan(self.fraction, delta_c=self.delta_c)
 
     def decompose(self, workload: Workload, cmin: float | None = None):
         """Split the workload at ``cmin`` (planned if not given)."""

@@ -114,7 +114,12 @@ class Simulator:
     def every(
         self, interval: float, callback: Callable[[], None], until: float
     ) -> None:
-        """Schedule ``callback`` periodically (monitoring hooks)."""
+        """Schedule ``callback`` periodically (monitoring hooks).
+
+        The first tick fires ``interval`` seconds after the *current*
+        simulated time, so ``every`` may be installed mid-run (e.g. from
+        another event) without trying to schedule into the past.
+        """
         if interval <= 0:
             raise SimulationError(f"interval must be positive, got {interval}")
 
@@ -124,4 +129,5 @@ class Simulator:
             if nxt <= until:
                 self.schedule(nxt, lambda: tick(nxt), priority=PRIORITY_MONITOR)
 
-        self.schedule(interval, lambda: tick(interval), priority=PRIORITY_MONITOR)
+        first = self._now + interval
+        self.schedule(first, lambda: tick(first), priority=PRIORITY_MONITOR)

@@ -9,6 +9,8 @@ the children's draws interfering with each other.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 
@@ -17,6 +19,27 @@ def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def derive_seed(base: int, *keys: int | str) -> int:
+    """Deterministically derive an independent seed from ``base`` + keys.
+
+    String keys are folded through SHA-256 (stable across processes,
+    platforms and Python hash randomization), so
+    ``derive_seed(0, "figure7")`` names the same stream everywhere.  The
+    parallel experiment runner uses this to give every worker a
+    reproducible RNG state that depends only on *what* it runs — never
+    on which worker runs it or in what order — keeping parallel output
+    bit-identical to serial.
+    """
+    entropy = [int(base) & 0xFFFFFFFFFFFFFFFF]
+    for key in keys:
+        if isinstance(key, str):
+            digest = hashlib.sha256(key.encode("utf-8")).digest()[:8]
+            entropy.append(int.from_bytes(digest, "little"))
+        else:
+            entropy.append(int(key) & 0xFFFFFFFFFFFFFFFF)
+    return int(np.random.SeedSequence(entropy).generate_state(1, np.uint64)[0])
 
 
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

@@ -90,6 +90,76 @@ class TestCaching:
         assert set(curve) == {0.8, 0.9, 1.0}
         assert curve[0.8] <= curve[0.9] <= curve[1.0]
 
+    def test_batched_representation_stays_arrays(self, bursty_workload):
+        # The kernel backends consume the planner's arrays zero-copy.
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        assert isinstance(planner._instants, np.ndarray)
+        assert isinstance(planner._counts, np.ndarray)
+        assert planner._instants.dtype == np.float64
+        assert planner._counts.dtype == np.int64
+
+
+class TestWarmStart:
+    """Cached evaluations double as bisection brackets; none of the
+    shortcuts may change any answer."""
+
+    def test_warm_searches_match_cold(self, bursty_workload):
+        warm = CapacityPlanner(bursty_workload, 0.05)
+        fractions = (1.0, 0.99, 0.95, 0.9, 0.8, 0.5)
+        warm_caps = [warm.min_capacity(f) for f in fractions]
+        cold_caps = [
+            CapacityPlanner(bursty_workload, 0.05).min_capacity(f)
+            for f in fractions
+        ]
+        assert warm_caps == cold_caps
+
+    def test_warm_start_reduces_evaluations(self, bursty_workload):
+        warm = CapacityPlanner(bursty_workload, 0.05)
+        warm.min_capacity(1.0)
+        before = len(warm._cache)
+        warm.min_capacity(0.95)
+        warm_evals = len(warm._cache) - before
+        cold = CapacityPlanner(bursty_workload, 0.05)
+        cold.min_capacity(0.95)
+        assert warm_evals < len(cold._cache)
+
+    def test_prefill_matches_direct_evaluation(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        grid = [3.0, 17.0, 40.5, 96.0, 200.0]
+        planner.prefill(grid)
+        fresh = CapacityPlanner(bursty_workload, 0.05)
+        for capacity in grid:
+            assert planner._cache[capacity] == fresh.admitted_at(capacity)
+
+    def test_prefill_does_not_change_min_capacity(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        planner.prefill(np.geomspace(1.0, 500.0, 20).tolist())
+        fresh = CapacityPlanner(bursty_workload, 0.05)
+        for fraction in (0.8, 0.9, 0.95, 1.0):
+            assert planner.min_capacity(fraction) == fresh.min_capacity(fraction)
+
+    def test_prefill_ignores_nonpositive_and_duplicates(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        planner.prefill([10.0, 10.0, -5.0, 0.0])
+        assert set(planner._cache) == {10.0}
+
+    def test_minimality_after_curve(self, bursty_workload):
+        # capacity_curve prefills a grid; minimality must survive it.
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        curve = planner.capacity_curve([0.8, 0.9, 0.95, 1.0])
+        for fraction, cmin in curve.items():
+            required = planner._required_count(fraction)
+            assert planner.admitted_at(cmin) >= required
+            assert planner.admitted_at(cmin - 1) < required
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_random_workloads_warm_vs_cold(self, seed):
+        workload = random_workload(seed, n=60, horizon=4.0)
+        warm = CapacityPlanner(workload, 0.1)
+        for fraction in (1.0, 0.9, 0.75):
+            cold = CapacityPlanner(workload, 0.1)
+            assert warm.min_capacity(fraction) == cold.min_capacity(fraction)
+
 
 class TestPlan:
     def test_default_delta_c(self, bursty_workload):

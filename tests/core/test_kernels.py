@@ -1,0 +1,203 @@
+"""Cross-validation of the RTT kernel backends (repro.perf).
+
+Property-based parity suite: the scalar reference, the numpy safe-run
+compression backend and (when a compiler is present) the native C
+backend must agree on admission counts, per-batch admitted counts and
+per-request masks — including against the Fraction-exact reference
+``decompose_exact`` — across random bursty workloads, fractional
+``C * delta`` products, simultaneous-arrival batches and empty traces.
+
+Inputs follow the repo's property-test conventions (millisecond arrival
+grid, dyadic capacities/deadlines) so that admission decisions sit far
+from the EPS floor boundary and every backend is exactly comparable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rtt import decompose, decompose_exact
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+from repro.perf import (
+    ENV_VAR,
+    active_backend,
+    admitted_per_batch,
+    available_backends,
+    count_admitted,
+    count_admitted_sweep,
+    set_backend,
+    use_backend,
+)
+
+BACKENDS = available_backends()
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+#: Batched arrival streams on a millisecond grid: sorted distinct
+#: instants, each with 1..40 simultaneous arrivals (bursty by design).
+batched_streams = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20000), st.integers(1, 40)),
+    min_size=0,
+    max_size=60,
+    unique_by=lambda pair: pair[0],
+).map(
+    lambda pairs: (
+        np.array(sorted(p[0] for p in pairs), dtype=float) / 1000.0,
+        np.array([p[1] for p in sorted(pairs)], dtype=np.int64),
+    )
+)
+
+#: Dyadic capacities, deliberately including values whose ``C * delta``
+#: is fractional (the regime where the deadline form and the paper's
+#: integer-queue form differ).
+capacities = st.integers(min_value=1, max_value=96).map(lambda k: k / 8.0)
+
+#: Dyadic response-time bounds.
+deltas = st.sampled_from([0.125, 0.25, 0.5, 1.0, 2.0])
+
+
+def _consistent(instants, counts, capacity, delta):
+    """Assert every available backend agrees; return the common answer."""
+    reference = count_admitted(instants, counts, capacity, delta, backend="scalar")
+    per_batch = admitted_per_batch(instants, counts, capacity, delta, backend="scalar")
+    for name in BACKENDS:
+        assert count_admitted(instants, counts, capacity, delta, backend=name) == reference
+        np.testing.assert_array_equal(
+            admitted_per_batch(instants, counts, capacity, delta, backend=name),
+            per_batch,
+            err_msg=f"backend {name} per-batch mismatch",
+        )
+    assert int(per_batch.sum()) == reference
+    assert np.all(per_batch <= counts)
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# Backend parity
+# ---------------------------------------------------------------------------
+
+
+@given(batched_streams, capacities, deltas)
+@settings(max_examples=150, deadline=None)
+def test_backends_agree_on_random_bursty_streams(stream, capacity, delta):
+    instants, counts = stream
+    _consistent(instants, counts, capacity, delta)
+
+
+@given(batched_streams, st.lists(capacities, min_size=1, max_size=6), deltas)
+@settings(max_examples=60, deadline=None)
+def test_sweep_matches_individual_calls(stream, caps, delta):
+    instants, counts = stream
+    expected = [
+        count_admitted(instants, counts, c, delta, backend="scalar") for c in caps
+    ]
+    for name in BACKENDS:
+        got = count_admitted_sweep(instants, counts, caps, delta, backend=name)
+        assert got.tolist() == expected, f"backend {name} sweep mismatch"
+
+
+@given(capacities, deltas)
+@settings(max_examples=20, deadline=None)
+def test_empty_trace(capacity, delta):
+    empty_t = np.array([], dtype=float)
+    empty_n = np.array([], dtype=np.int64)
+    for name in BACKENDS:
+        assert count_admitted(empty_t, empty_n, capacity, delta, backend=name) == 0
+        assert admitted_per_batch(empty_t, empty_n, capacity, delta, backend=name).size == 0
+        assert count_admitted_sweep(
+            empty_t, empty_n, [capacity], delta, backend=name
+        ).tolist() == [0]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_accepts_plain_sequences(backend):
+    # Kernels take lists as well as arrays (the public count_admitted
+    # contract predates the perf layer).
+    assert count_admitted([0.0, 0.5, 1.0], [2, 2, 2], 4.0, 0.5, backend=backend) == 6
+
+
+def test_single_giant_batch():
+    # One batch larger than C * delta: exactly floor(C * delta) admitted.
+    instants = np.array([1.0])
+    counts = np.array([1000], dtype=np.int64)
+    for name in BACKENDS:
+        assert count_admitted(instants, counts, 8.0, 2.5, backend=name) == 20
+
+
+# ---------------------------------------------------------------------------
+# Parity with the Fraction-exact reference
+# ---------------------------------------------------------------------------
+
+
+@given(batched_streams, capacities, deltas)
+@settings(max_examples=60, deadline=None)
+def test_mask_matches_decompose_exact(stream, capacity, delta):
+    instants, counts = stream
+    arrivals = np.repeat(instants, counts)
+    workload = Workload(arrivals)
+    exact = decompose_exact(workload, Fraction(capacity), Fraction(delta))
+    for name in BACKENDS:
+        with use_backend(name):
+            result = decompose(workload, capacity, delta)
+        np.testing.assert_array_equal(
+            result.admitted, exact.admitted, err_msg=f"backend {name} vs exact"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry behavior
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_scalar_and_numpy_always_available(self):
+        assert "scalar" in BACKENDS
+        assert "numpy" in BACKENDS
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            count_admitted([0.0], [1], 1.0, 1.0, backend="cuda")
+        with pytest.raises(ConfigurationError):
+            set_backend("cuda")
+
+    def test_set_backend_and_restore(self):
+        set_backend("scalar")
+        try:
+            assert active_backend() == "scalar"
+        finally:
+            set_backend(None)
+        assert active_backend() in BACKENDS
+
+    def test_use_backend_restores_on_exit(self):
+        before = active_backend()
+        with use_backend("numpy"):
+            assert active_backend() == "numpy"
+        assert active_backend() == before
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert active_backend() == "numpy"
+        monkeypatch.setenv(ENV_VAR, "nonsense")
+        with pytest.raises(ConfigurationError):
+            active_backend()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        with use_backend("scalar"):
+            assert active_backend() == "scalar"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            count_admitted([0.0], [1], 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            count_admitted([0.0], [1], 1.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            count_admitted_sweep([0.0], [1], [1.0, -2.0], 1.0)

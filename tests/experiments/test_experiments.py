@@ -220,6 +220,22 @@ class TestRunner:
         assert "figure4" in captured
         assert "Figure 4" in out.read_text()
 
+    def test_parallel_output_matches_serial(self, capsys):
+        """--jobs must not change results or their order."""
+        import re
+
+        args = ["figure3", "figure4", "--duration", "10"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        strip = lambda text: re.sub(r"\(\d+\.\d s\)", "", text)
+        assert strip(parallel) == strip(serial)
+
+    def test_jobs_validation(self):
+        with pytest.raises(SystemExit):
+            main(["figure3", "--jobs", "0"])
+
 
 class TestExtensions:
     def test_cascade_and_streaming(self, config):

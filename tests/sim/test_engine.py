@@ -135,3 +135,24 @@ class TestEvery:
     def test_invalid_interval(self):
         with pytest.raises(SimulationError, match="interval"):
             Simulator().every(0.0, lambda: None, until=1.0)
+
+    def test_installed_mid_simulation(self):
+        """Regression: the first tick is interval after *now*, not at the
+        absolute instant ``interval`` (which is in the past mid-run)."""
+        sim = Simulator()
+        ticks = []
+        sim.schedule(
+            5.0, lambda: sim.every(1.0, lambda: ticks.append(sim.now), until=8.5)
+        )
+        sim.run()
+        assert ticks == [6.0, 7.0, 8.0]
+
+    def test_installed_mid_run_after_advance(self):
+        """Also valid when the clock advanced before installation."""
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), until=4.5)
+        sim.run()
+        assert ticks == [3.0, 4.0]
