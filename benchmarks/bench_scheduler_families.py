@@ -10,8 +10,6 @@ agree within tight bands.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.capacity import CapacityPlanner
 from repro.shaping import run_policy
 from repro.units import ms

@@ -9,6 +9,7 @@ prints, so downstream users can run the comparison programmatically.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..core.capacity import CapacityPlanner
@@ -39,11 +40,14 @@ class PolicyComparison:
     def ranking(self, bound: float | None = None) -> list[str]:
         """Policies ordered best-first by compliance at ``bound``."""
         bound = self.delta if bound is None else bound
-        return sorted(
-            self.runs,
-            key=lambda p: self.runs[p].fraction_within(bound),
-            reverse=True,
-        )
+
+        def compliance(policy: str) -> float:
+            fraction = self.runs[policy].fraction_within(bound)
+            # Empty runs report NaN compliance; NaN keys would scramble
+            # the sort, so rank them last explicitly.
+            return -math.inf if math.isnan(fraction) else fraction
+
+        return sorted(self.runs, key=compliance, reverse=True)
 
     def winner(self) -> str:
         """The policy with the best compliance at the deadline."""

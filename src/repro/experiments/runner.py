@@ -5,6 +5,8 @@ Usage::
     repro-experiments table1 [--duration 300]
     repro-experiments figure2 figure6
     repro-experiments all --jobs 4 --duration 120 --output EXPERIMENTS-run.md
+    repro-experiments --metrics out.jsonl [--metrics-policy miser]
+    repro-experiments --summarize out.jsonl
 
 Each experiment prints its rendered table/figure; ``--output`` appends
 everything to a Markdown file with headers, which is how the committed
@@ -88,6 +90,34 @@ def _run_one(name: str, duration: float, seed_offset: int) -> tuple[str, str, fl
     return name, text, time.time() - started
 
 
+def _run_metrics(args) -> int:
+    """Instrumented single run: plan, simulate, export JSONL, summarize."""
+    from ..obs import MetricsRegistry, summarize_file
+    from ..shaping import WorkloadShaper, run_policy
+    from ..units import ms
+
+    config = _config_for(args.duration, args.seed_offset)
+    workload = config.workload(args.metrics_workload)
+    delta = ms(args.metrics_delta_ms)
+    shaper = WorkloadShaper(delta=delta, fraction=args.metrics_fraction)
+    plan = shaper.plan(workload)
+    registry = MetricsRegistry()
+    result = run_policy(
+        workload,
+        args.metrics_policy,
+        plan.cmin,
+        plan.delta_c,
+        delta,
+        metrics=registry,
+        sample_interval=args.metrics_interval,
+    )
+    lines = result.telemetry.export(args.metrics)
+    print(f"wrote {lines} JSONL lines to {args.metrics}")
+    print()
+    print(summarize_file(args.metrics))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -133,9 +163,68 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also append rendered output to this Markdown file",
     )
+    metrics_group = parser.add_argument_group(
+        "observability",
+        "run one instrumented simulation and export a JSONL metrics trace",
+    )
+    metrics_group.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a JSONL trace of one instrumented run to PATH "
+             "(uses --duration / --seed-offset) and print its summary",
+    )
+    metrics_group.add_argument(
+        "--metrics-policy",
+        type=str,
+        default="miser",
+        choices=("fcfs", "split", "fairqueue", "wf2q", "miser"),
+        help="policy for the instrumented run (default %(default)s)",
+    )
+    metrics_group.add_argument(
+        "--metrics-workload",
+        type=str,
+        default="websearch",
+        choices=("websearch", "fintrans", "openmail"),
+        help="library workload for the instrumented run (default %(default)s)",
+    )
+    metrics_group.add_argument(
+        "--metrics-delta-ms",
+        type=float,
+        default=50.0,
+        help="guaranteed-class bound in milliseconds (default %(default)s)",
+    )
+    metrics_group.add_argument(
+        "--metrics-fraction",
+        type=float,
+        default=0.95,
+        help="guaranteed fraction for capacity planning (default %(default)s)",
+    )
+    metrics_group.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.1,
+        help="sampler period in simulated seconds (default %(default)s)",
+    )
+    metrics_group.add_argument(
+        "--summarize",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="pretty-print an existing JSONL metrics trace and exit",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    if args.summarize:
+        from ..obs import summarize_file
+
+        print(summarize_file(args.summarize))
+        return 0
+    if args.metrics:
+        return _run_metrics(args)
 
     if args.verify:
         from . import verify as verify_module
@@ -147,7 +236,10 @@ def main(argv: list[str] | None = None) -> int:
         print(verify_module.render(checks))
         return 0 if all(c.passed for c in checks) else 1
     if not args.experiments:
-        parser.error("name experiments to run, use 'all', or pass --verify")
+        parser.error(
+            "name experiments to run, use 'all', or pass "
+            "--verify / --metrics / --summarize"
+        )
     known = set(EXPERIMENTS) | {"all"}
     unknown = [e for e in args.experiments if e not in known]
     if unknown:

@@ -1,0 +1,49 @@
+"""Observability layer: metrics, periodic sampling, JSONL export.
+
+The paper's claims are distributional — queue-depth, rate, and
+response-time *shapes* — but the simulation stack originally exposed
+only end-of-run collectors.  This package is the runtime metric plane:
+
+* :mod:`repro.obs.registry` — counters / gauges / histograms behind a
+  pluggable :class:`MetricsRegistry`; the :data:`NULL_REGISTRY` default
+  keeps the disabled path near-free;
+* :mod:`repro.obs.sampler` — a periodic :class:`Sampler` snapshotting
+  live internals (queue depths, ``len_q1``, ``min_slack``, server busy
+  fraction) into a time series;
+* :mod:`repro.obs.export` — JSONL serialization plus a ``summary``
+  pretty-printer, surfaced on the CLI as
+  ``repro-experiments --metrics out.jsonl``.
+
+Enable it by passing a :class:`MetricsRegistry` (and a sampling
+interval) to :func:`repro.shaping.run_policy`, or by constructing
+instrumented drivers/schedulers directly.
+"""
+
+from .registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    validate_edges,
+)
+from .sampler import Sampler, attach_standard_probes, depth_reconciles
+from .export import export_run, read_jsonl, summarize, summarize_file
+
+__all__ = [
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Sampler",
+    "attach_standard_probes",
+    "depth_reconciles",
+    "export_run",
+    "read_jsonl",
+    "summarize",
+    "summarize_file",
+    "validate_edges",
+]

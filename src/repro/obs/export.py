@@ -1,0 +1,157 @@
+"""JSONL trace export and the ``summary`` pretty-printer.
+
+One observed run serializes to a line-delimited JSON file with three
+record types (full schema in ``docs/observability.md``):
+
+* ``{"type": "meta", ...}`` — one header line of run configuration;
+* ``{"type": "sample", "t": ..., <probe>: <value>, ...}`` — one line per
+  sampler tick (``null`` for probes without a defined value, e.g.
+  ``min_slack`` with an empty primary queue);
+* ``{"type": "metric", "kind": "counter"|"gauge"|"histogram", ...}`` —
+  final instrument states, one per line.
+
+The format is greppable, streams through ``jq``, and appends cheaply —
+the same reasons the bufferbloat / SDS-QoS telemetry planes settled on
+newline-delimited records.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Sequence
+
+from ..exceptions import ConfigurationError
+from .registry import MetricsRegistry
+
+
+def _clean(value):
+    """JSON-safe scalar: NaN/inf become null (strict JSON has neither)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def export_run(
+    path: str,
+    registry: MetricsRegistry,
+    samples: Sequence[dict] = (),
+    meta: dict | None = None,
+) -> int:
+    """Write one run's telemetry as JSONL; returns the line count."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        def emit(record: dict) -> None:
+            nonlocal lines
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            lines += 1
+
+        emit({"type": "meta", **(meta or {})})
+        for sample in samples:
+            emit({"type": "sample", **{k: _clean(v) for k, v in sample.items()}})
+        for snapshot in registry.snapshot():
+            emit({"type": "metric", **snapshot})
+    return lines
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse a telemetry file back into records (blank lines skipped)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{number}: not valid JSON: {exc}"
+                ) from None
+            if not isinstance(record, dict) or "type" not in record:
+                raise ConfigurationError(
+                    f"{path}:{number}: expected an object with a 'type' key"
+                )
+            records.append(record)
+    return records
+
+
+def _format_rows(headers: list, rows: list) -> str:
+    """Minimal fixed-width table (no dependency on repro.analysis)."""
+    table = [[str(c) for c in row] for row in [headers] + rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def summarize(records: Iterable[dict]) -> str:
+    """Human-readable digest of a telemetry record stream.
+
+    Shows the meta header, final counter/gauge values, histogram bucket
+    lines, and min/mean/max/last over every sampled column.
+    """
+    records = list(records)
+    meta = [r for r in records if r.get("type") == "meta"]
+    samples = [r for r in records if r.get("type") == "sample"]
+    metrics = [r for r in records if r.get("type") == "metric"]
+
+    blocks = []
+    if meta:
+        pairs = {k: v for k, v in sorted(meta[0].items()) if k != "type"}
+        if pairs:
+            blocks.append(
+                "run: " + ", ".join(f"{k}={v}" for k, v in pairs.items())
+            )
+
+    scalars = [m for m in metrics if m.get("kind") in ("counter", "gauge")]
+    if scalars:
+        rows = [[m["name"], m["kind"], f"{m['value']:g}"] for m in scalars]
+        blocks.append(_format_rows(["metric", "kind", "value"], rows))
+
+    histograms = [m for m in metrics if m.get("kind") == "histogram"]
+    for h in histograms:
+        labels = [f"<={e:g}" for e in h["edges"]] + [f">{h['edges'][-1]:g}"]
+        rows = [[label, count] for label, count in zip(labels, h["counts"])]
+        blocks.append(
+            f"histogram {h['name']} (n={h['count']}, sum={h['sum']:g})\n"
+            + _format_rows(["bucket", "count"], rows)
+        )
+
+    if samples:
+        columns = sorted({k for s in samples for k in s} - {"type", "t"})
+        rows = []
+        for column in columns:
+            values = [
+                s[column]
+                for s in samples
+                if isinstance(s.get(column), (int, float))
+            ]
+            if not values:
+                rows.append([column, len(samples), "-", "-", "-", "-"])
+                continue
+            rows.append(
+                [
+                    column,
+                    len(values),
+                    f"{min(values):g}",
+                    f"{sum(values) / len(values):.4g}",
+                    f"{max(values):g}",
+                    f"{values[-1]:g}",
+                ]
+            )
+        blocks.append(
+            f"samples: {len(samples)} ticks, "
+            f"t in [{samples[0]['t']:g}, {samples[-1]['t']:g}]\n"
+            + _format_rows(["probe", "n", "min", "mean", "max", "last"], rows)
+        )
+
+    return "\n\n".join(blocks) if blocks else "no telemetry records"
+
+
+def summarize_file(path: str) -> str:
+    """:func:`summarize` straight from a JSONL file path."""
+    return summarize(read_jsonl(path))

@@ -1,0 +1,252 @@
+"""Metric instruments and the pluggable registry.
+
+Three instrument kinds cover everything the stack reports:
+
+* :class:`Counter` — monotone event counts (arrivals, dispatches,
+  deadline misses);
+* :class:`Gauge` — last-written level (queue depth, ``min_slack``);
+* :class:`Histogram` — bucketed value distribution (response times).
+
+Instruments are created through a :class:`MetricsRegistry`, which
+memoizes them by name so every layer of the stack that asks for
+``"driver.arrivals"`` increments the same counter.  Observability is
+*opt-in*: components default to the module-level :data:`NULL_REGISTRY`,
+whose instruments are shared no-op singletons — the disabled path costs
+one attribute lookup and an empty method call, which
+``benchmarks/bench_obs.py`` keeps honest (< 5% end-to-end).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Sequence
+
+from ..exceptions import ConfigurationError
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name}: negative increment {amount}"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written instantaneous level (may go up or down)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket value distribution.
+
+    ``edges=[a, b]`` creates buckets ``<=a``, ``<=b`` and an implicit
+    overflow bucket ``>b``; :meth:`snapshot` reports per-bucket counts
+    alongside the total count and sum (so means stay recoverable).
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, name: str, edges: Sequence[float]):
+        validate_edges(edges, context=f"histogram {name}")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+def validate_edges(edges: Sequence[float], context: str = "edges") -> None:
+    """Reject empty or non-strictly-increasing bucket edges.
+
+    Shared by :class:`Histogram` and
+    :meth:`repro.sim.stats.ResponseTimeCollector.binned_fractions` — both
+    would otherwise emit nonsense bins (e.g. a bogus ``">0"`` key) from a
+    malformed edge list.
+    """
+    if len(edges) == 0:
+        raise ConfigurationError(f"{context}: at least one edge is required")
+    values = [float(e) for e in edges]
+    if any(b <= a for a, b in zip(values, values[1:])):
+        raise ConfigurationError(
+            f"{context}: edges must be strictly increasing, got {values}"
+        )
+
+
+class MetricsRegistry:
+    """Name-keyed home of every instrument in one observed run.
+
+    The registry is deliberately flat: names are dotted paths
+    (``"driver.arrivals"``, ``"sched.miser.slack_dispatches"``) and
+    re-requesting a name returns the existing instrument, so independent
+    components aggregate into shared metrics without coordination.
+    """
+
+    #: Fast gate hot paths may consult before doing per-event work that
+    #: only exists to feed metrics.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+            return metric
+        if metric.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+        return self._get(name, lambda: Histogram(name, edges), "histogram")
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._metrics.values())
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter/gauge (0.0 when never registered)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise ConfigurationError(
+                f"metric {name!r} is a histogram; use get().snapshot()"
+            )
+        return metric.value
+
+    def counters(self) -> dict[str, float]:
+        """All counter values by name (sorted), for quick assertions."""
+        return {
+            m.name: m.value
+            for m in sorted(self, key=lambda m: m.name)
+            if isinstance(m, Counter)
+        }
+
+    def snapshot(self) -> list[dict]:
+        """Serializable state of every instrument, sorted by name."""
+        return [m.snapshot() for m in sorted(self, key=lambda m: m.name)]
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by the null registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self, name: str):
+        super().__init__(name, (1.0,))
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """Observability disabled: every request returns a shared no-op.
+
+    Keeping the interface identical means instrumented code has no
+    ``if metrics:`` branches for correctness — only (optionally) for
+    skipping work whose sole purpose is feeding metrics.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+        return self._histogram
+
+
+#: Process-wide disabled registry: the default everywhere.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,163 @@
+"""Periodic state sampling: the time-series half of the metrics plane.
+
+Counters say *how much*; the :class:`Sampler` says *when*.  It rides the
+simulation clock (:meth:`repro.sim.engine.Simulator.every`) and, each
+tick, evaluates a set of named probe callables into one record — queue
+depths, classifier occupancy, Miser's ``min_slack``, server busy state —
+producing exactly the internal time series the paper's Figures 2/4/6
+summarize from the outside.
+
+:func:`attach_standard_probes` wires the conventional probe set for a
+:class:`~repro.server.driver.DeviceDriver` or
+:class:`~repro.server.cluster.SplitSystem` by duck typing, so new system
+topologies opt in by exposing the same attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.slack import is_unconstrained
+from ..exceptions import ConfigurationError
+from ..sim.engine import Simulator
+
+
+class Sampler:
+    """Snapshots named probes into a time series on a fixed period.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine providing the clock.
+    interval:
+        Sampling period in simulated seconds.
+    """
+
+    def __init__(self, sim: Simulator, interval: float):
+        if interval <= 0:
+            raise ConfigurationError(
+                f"sampling interval must be positive, got {interval}"
+            )
+        self.sim = sim
+        self.interval = interval
+        self._probes: dict[str, Callable[[], float | None]] = {}
+        #: One dict per tick: ``{"t": <time>, <probe>: <value>, ...}``.
+        self.records: list[dict] = []
+
+    def probe(self, name: str, fn: Callable[[], float | None]) -> None:
+        """Register ``fn`` to be evaluated as column ``name`` each tick."""
+        if name == "t":
+            raise ConfigurationError('probe name "t" is reserved')
+        if name in self._probes:
+            raise ConfigurationError(f"probe {name!r} already registered")
+        self._probes[name] = fn
+
+    @property
+    def probe_names(self) -> tuple[str, ...]:
+        return tuple(self._probes)
+
+    def sample_now(self) -> dict:
+        """Take one snapshot immediately (also used by the periodic tick)."""
+        record: dict = {"t": self.sim.now}
+        for name, fn in self._probes.items():
+            record[name] = fn()
+        self.records.append(record)
+        return record
+
+    def install(self, until: float) -> None:
+        """Arm periodic sampling from now until ``until`` (simulated s)."""
+        self.sim.every(self.interval, self.sample_now, until=until)
+
+    def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` arrays of one probe (None sampled as NaN)."""
+        if name not in self._probes:
+            raise ConfigurationError(f"unknown probe {name!r}")
+        times = np.array([r["t"] for r in self.records], dtype=np.float64)
+        values = np.array(
+            [float("nan") if r[name] is None else float(r[name]) for r in self.records],
+            dtype=np.float64,
+        )
+        return times, values
+
+
+def _scheduler_probes(sampler: Sampler, scheduler, prefix: str = "") -> None:
+    """Probes common to every :class:`~repro.sched.base.Scheduler`."""
+    sampler.probe(f"{prefix}queue_depth", scheduler.pending)
+    for key in scheduler.class_backlog():
+        sampler.probe(
+            f"{prefix}backlog_{key}",
+            lambda key=key: scheduler.class_backlog().get(key, 0),
+        )
+    classifier = getattr(scheduler, "classifier", None)
+    if classifier is not None:
+        sampler.probe(f"{prefix}len_q1", lambda: classifier.len_q1)
+    if hasattr(scheduler, "min_slack"):
+        def min_slack() -> float | None:
+            slack = scheduler.min_slack
+            return None if is_unconstrained(slack) else slack
+
+        sampler.probe(f"{prefix}min_slack", min_slack)
+
+
+def _driver_probes(sampler: Sampler, driver, prefix: str = "") -> None:
+    """Server occupancy plus the driver's own counters as columns.
+
+    The counter columns let each sample be checked against the event
+    counts at that instant (see :func:`depth_reconciles`).
+    """
+    sampler.probe(f"{prefix}server_busy", lambda: float(driver.server.busy))
+    sampler.probe(
+        f"{prefix}server_busy_fraction", lambda: driver.server.utilization()
+    )
+    registry = driver.metrics
+    if registry.enabled:
+        for short in ("arrivals", "dispatches", "completions", "deadline_misses"):
+            name = f"{driver.metrics_prefix}.{short}"
+            sampler.probe(
+                f"{prefix}{short}", lambda name=name: registry.value(name)
+            )
+
+
+def attach_standard_probes(sampler: Sampler, system) -> Sampler:
+    """Wire the conventional probe set for ``system``.
+
+    ``system`` is either a single-server driver (has ``scheduler`` and
+    ``server``) or a split topology (has ``primary_driver`` and
+    ``overflow_driver``); anything exposing the same attributes works.
+    Returns the sampler for chaining.
+    """
+    if hasattr(system, "scheduler") and hasattr(system, "server"):
+        _scheduler_probes(sampler, system.scheduler)
+        _driver_probes(sampler, system)
+    elif hasattr(system, "primary_driver") and hasattr(system, "overflow_driver"):
+        _scheduler_probes(sampler, system.primary_driver.scheduler, prefix="q1_")
+        _scheduler_probes(sampler, system.overflow_driver.scheduler, prefix="q2_")
+        _driver_probes(sampler, system.primary_driver, prefix="q1_")
+        _driver_probes(sampler, system.overflow_driver, prefix="q2_")
+        classifier = getattr(system, "classifier", None)
+        if classifier is not None:
+            sampler.probe("len_q1", lambda: classifier.len_q1)
+    else:
+        raise ConfigurationError(
+            f"don't know how to probe {type(system).__name__}: expected a "
+            "driver (scheduler + server) or a split system "
+            "(primary_driver + overflow_driver)"
+        )
+    return sampler
+
+
+def depth_reconciles(records: Sequence[dict], prefix: str = "") -> bool:
+    """Invariant check: sampled depth equals arrivals minus dispatches.
+
+    Holds for every sample carrying the counter columns of one driver;
+    used by tests and by ``--metrics`` consumers as a trace sanity check.
+    """
+    keys = (f"{prefix}queue_depth", f"{prefix}arrivals", f"{prefix}dispatches")
+    for record in records:
+        if not set(keys) <= record.keys():
+            continue
+        if record[keys[0]] != record[keys[1]] - record[keys[2]]:
+            return False
+    return True

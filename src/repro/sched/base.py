@@ -5,13 +5,24 @@ arriving request (:meth:`Scheduler.on_arrival`), asks it which request to
 serve whenever the server goes idle (:meth:`Scheduler.select`), and
 notifies it of completions (:meth:`Scheduler.on_completion`) so that
 classifying schedulers can maintain their queue-occupancy state.
+
+Metrics
+-------
+Every scheduler emits a standard instrument set once a registry is bound
+via :meth:`Scheduler.bind_metrics` (the device driver does this when it
+is constructed with one): ``sched.<name>.arrivals``, per-class arrival
+counters, ``sched.<name>.dispatches`` with per-class splits, and
+``sched.<name>.deadline_misses``.  Unbound schedulers point at the no-op
+:data:`repro.obs.registry.NULL_REGISTRY`, so the emission helpers cost a
+predicate check on the hot path and nothing else.
 """
 
 from __future__ import annotations
 
 import abc
 
-from ..core.request import Request
+from ..core.request import QoSClass, Request
+from ..obs.registry import NULL_REGISTRY, MetricsRegistry
 
 
 class Scheduler(abc.ABC):
@@ -19,6 +30,64 @@ class Scheduler(abc.ABC):
 
     #: Short policy name used in reports ("fcfs", "miser", ...).
     name: str = "scheduler"
+
+    #: Bound registry; the class-level defaults keep metrics disabled
+    #: without requiring subclasses to call ``super().__init__``.
+    metrics: MetricsRegistry = NULL_REGISTRY
+    _m_arrivals = _m_arrivals_q1 = _m_arrivals_q2 = NULL_REGISTRY.counter("null")
+    _m_dispatches = _m_dispatches_q1 = _m_dispatches_q2 = NULL_REGISTRY.counter("null")
+    _m_slack_dispatches = _m_misses = NULL_REGISTRY.counter("null")
+
+    def bind_metrics(self, registry: MetricsRegistry) -> "Scheduler":
+        """Point the standard instrument set at ``registry``.
+
+        Idempotent per registry; returns ``self`` for chaining.  Called
+        by :class:`repro.server.driver.DeviceDriver` when it is built
+        with metrics enabled.
+        """
+        prefix = f"sched.{self.name}"
+        self.metrics = registry
+        self._m_arrivals = registry.counter(f"{prefix}.arrivals")
+        self._m_arrivals_q1 = registry.counter(f"{prefix}.arrivals_q1")
+        self._m_arrivals_q2 = registry.counter(f"{prefix}.arrivals_q2")
+        self._m_dispatches = registry.counter(f"{prefix}.dispatches")
+        self._m_dispatches_q1 = registry.counter(f"{prefix}.dispatches_q1")
+        self._m_dispatches_q2 = registry.counter(f"{prefix}.dispatches_q2")
+        self._m_slack_dispatches = registry.counter(f"{prefix}.slack_dispatches")
+        self._m_misses = registry.counter(f"{prefix}.deadline_misses")
+        return self
+
+    # ------------------------------------------------------------------
+    # Emission helpers — subclasses call these from their hot paths.
+    # ------------------------------------------------------------------
+
+    def _note_arrival(self, request: Request) -> None:
+        if not self.metrics.enabled:
+            return
+        self._m_arrivals.inc()
+        if request.qos_class is QoSClass.PRIMARY:
+            self._m_arrivals_q1.inc()
+        elif request.qos_class is QoSClass.OVERFLOW:
+            self._m_arrivals_q2.inc()
+
+    def _note_dispatch(self, request: Request) -> None:
+        if not self.metrics.enabled:
+            return
+        self._m_dispatches.inc()
+        if request.qos_class is QoSClass.PRIMARY:
+            self._m_dispatches_q1.inc()
+        elif request.qos_class is QoSClass.OVERFLOW:
+            self._m_dispatches_q2.inc()
+
+    def _note_completion(self, request: Request) -> None:
+        if not self.metrics.enabled:
+            return
+        if request.qos_class is QoSClass.PRIMARY and not request.met_deadline:
+            self._m_misses.inc()
+
+    # ------------------------------------------------------------------
+    # Dispatch interface
+    # ------------------------------------------------------------------
 
     @abc.abstractmethod
     def on_arrival(self, request: Request) -> None:
@@ -35,10 +104,20 @@ class Scheduler(abc.ABC):
 
     def on_completion(self, request: Request) -> None:
         """Hook invoked when ``request`` finishes service."""
+        self._note_completion(request)
 
     @abc.abstractmethod
     def pending(self) -> int:
         """Number of queued (not yet dispatched) requests."""
+
+    def class_backlog(self) -> dict[str, int]:
+        """Queued requests per class, e.g. ``{"q1": 3, "q2": 17}``.
+
+        Schedulers without internal class queues return ``{}`` (the
+        default); the :class:`repro.obs.sampler.Sampler` turns each key
+        into a ``backlog_<key>`` time-series column.
+        """
+        return {}
 
     def __len__(self) -> int:
         return self.pending()

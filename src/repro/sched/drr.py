@@ -118,13 +118,24 @@ class DRRScheduler(Scheduler):
     def on_arrival(self, request: Request) -> None:
         qos = self.classifier.classify(request)
         self._queue.add(int(qos), request)
+        self._note_arrival(request)
 
     def select(self, now: float) -> Request | None:
         choice = self._queue.select()
-        return None if choice is None else choice[1]
+        if choice is None:
+            return None
+        self._note_dispatch(choice[1])
+        return choice[1]
 
     def on_completion(self, request: Request) -> None:
         self.classifier.on_completion(request)
+        self._note_completion(request)
 
     def pending(self) -> int:
         return len(self._queue)
+
+    def class_backlog(self) -> dict[str, int]:
+        return {
+            "q1": self._queue.backlog(int(QoSClass.PRIMARY)),
+            "q2": self._queue.backlog(int(QoSClass.OVERFLOW)),
+        }

@@ -49,6 +49,7 @@ class EDFScheduler(Scheduler):
             self._q1.append(request)  # uniform delta: FIFO == EDF
         else:
             self._q2.append(request)
+        self._note_arrival(request)
 
     def _overflow_is_safe(self, now: float) -> bool:
         """Would one overflow quantum endanger any queued primary?"""
@@ -60,15 +61,24 @@ class EDFScheduler(Scheduler):
 
     def select(self, now: float) -> Request | None:
         if self._q2 and (not self._q1 or self._overflow_is_safe(now)):
-            return self._q2.popleft()
-        if self._q1:
-            return self._q1.popleft()
-        if self._q2:
-            return self._q2.popleft()
-        return None
+            if self._q1:
+                self._m_slack_dispatches.inc()
+            request = self._q2.popleft()
+        elif self._q1:
+            request = self._q1.popleft()
+        elif self._q2:
+            request = self._q2.popleft()
+        else:
+            return None
+        self._note_dispatch(request)
+        return request
 
     def on_completion(self, request: Request) -> None:
         self.classifier.on_completion(request)
+        self._note_completion(request)
 
     def pending(self) -> int:
         return len(self._q1) + len(self._q2)
+
+    def class_backlog(self) -> dict[str, int]:
+        return {"q1": len(self._q1), "q2": len(self._q2)}

@@ -24,10 +24,13 @@ class FCFSScheduler(Scheduler):
 
     def on_arrival(self, request: Request) -> None:
         self._queue.append(request)
+        self._note_arrival(request)
 
     def select(self, now: float) -> Request | None:
         if self._queue:
-            return self._queue.popleft()
+            request = self._queue.popleft()
+            self._note_dispatch(request)
+            return request
         return None
 
     def pending(self) -> int:

@@ -51,6 +51,7 @@ class MiserScheduler(Scheduler):
             self._q1.append((request, key))
         else:
             self._q2.append(request)
+        self._note_arrival(request)
 
     def select(self, now: float) -> Request | None:
         # Algorithm 2 departure rule: overflow may run iff even the most
@@ -58,21 +59,31 @@ class MiserScheduler(Scheduler):
         if self._q2 and self._tracker.min_slack() >= 1:
             if self._q1:
                 self.slack_dispatches += 1
+                self._m_slack_dispatches.inc()
             self._tracker.decrement_all()
-            return self._q2.popleft()
+            request = self._q2.popleft()
+            self._note_dispatch(request)
+            return request
         if self._q1:
             request, key = self._q1.popleft()
             self._tracker.remove(key)
+            self._note_dispatch(request)
             return request
         if self._q2:
-            return self._q2.popleft()
+            request = self._q2.popleft()
+            self._note_dispatch(request)
+            return request
         return None
 
     def on_completion(self, request: Request) -> None:
         self.classifier.on_completion(request)
+        self._note_completion(request)
 
     def pending(self) -> int:
         return len(self._q1) + len(self._q2)
+
+    def class_backlog(self) -> dict[str, int]:
+        return {"q1": len(self._q1), "q2": len(self._q2)}
 
     @property
     def min_slack(self) -> int:

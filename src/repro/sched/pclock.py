@@ -123,11 +123,13 @@ class PClockScheduler(Scheduler):
             deadline = state.deadline_for(request.arrival)
         request.deadline = None if deadline == BEST_EFFORT_DEADLINE else deadline
         heapq.heappush(self._heap, (deadline, next(self._counter), request))
+        self._note_arrival(request)
 
     def select(self, now: float) -> Request | None:
         if not self._heap:
             return None
         _, _, request = heapq.heappop(self._heap)
+        self._note_dispatch(request)
         return request
 
     def pending(self) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..core.request import QoSClass, Request
 from ..exceptions import ConfigurationError
+from ..obs.registry import NULL_REGISTRY, MetricsRegistry
 from ..sched.classifier import OnlineRTTClassifier
 from ..sched.fcfs import FCFSScheduler
 from ..sim.engine import Simulator
@@ -34,28 +35,56 @@ class SplitSystem:
         Secondary (overflow) server capacity.
     delta:
         Primary-class response-time bound.
+    metrics:
+        Optional registry shared by the front end and both drivers; the
+        drivers emit under ``q1.driver`` / ``q2.driver`` and the front
+        end counts routing decisions as ``split.routed_q1`` / ``_q2``.
     """
 
-    def __init__(self, sim: Simulator, cmin: float, delta_c: float, delta: float):
+    def __init__(
+        self,
+        sim: Simulator,
+        cmin: float,
+        delta_c: float,
+        delta: float,
+        metrics: MetricsRegistry | None = None,
+    ):
         if delta_c <= 0:
             raise ConfigurationError(
                 f"Split needs a positive overflow capacity, got {delta_c}"
             )
         self.sim = sim
         self.classifier = OnlineRTTClassifier(cmin, delta)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.primary_driver = DeviceDriver(
-            sim, constant_rate_server(sim, cmin, "primary"), _NotifyingFCFS(self)
+            sim,
+            constant_rate_server(sim, cmin, "primary"),
+            _NotifyingFCFS(self),
+            metrics=self.metrics,
+            metrics_prefix="q1.driver",
         )
+        overflow_sched = FCFSScheduler()
+        # Both servers run FCFS; distinct scheduler names keep their
+        # ``sched.<name>.*`` counters apart in the shared registry.
+        overflow_sched.name = "q2.fcfs"
         self.overflow_driver = DeviceDriver(
-            sim, constant_rate_server(sim, delta_c, "overflow"), FCFSScheduler()
+            sim,
+            constant_rate_server(sim, delta_c, "overflow"),
+            overflow_sched,
+            metrics=self.metrics,
+            metrics_prefix="q2.driver",
         )
+        self._m_routed_q1 = self.metrics.counter("split.routed_q1")
+        self._m_routed_q2 = self.metrics.counter("split.routed_q2")
 
     def on_arrival(self, request: Request) -> None:
         """Classify, then route to the class's dedicated server."""
         qos = self.classifier.classify(request)
         if qos is QoSClass.PRIMARY:
+            self._m_routed_q1.inc()
             self.primary_driver.on_arrival(request)
         else:
+            self._m_routed_q2.inc()
             self.overflow_driver.on_arrival(request)
 
     # ------------------------------------------------------------------
@@ -81,13 +110,19 @@ class SplitSystem:
         }
 
     def fraction_within(self, bound: float) -> float:
+        """Completed-weighted compliance across both servers.
+
+        Empty drivers contribute zero weight rather than polluting the
+        average with their NaN ``fraction_within`` (an empty collector
+        has no compliance to report — see ``repro.sim.stats``).
+        """
         total = len(self.primary_driver.completed) + len(self.overflow_driver.completed)
         if total == 0:
-            return 1.0
-        hits = self.primary_driver.overall.fraction_within(bound) * len(
-            self.primary_driver.completed
-        ) + self.overflow_driver.overall.fraction_within(bound) * len(
-            self.overflow_driver.completed
+            return float("nan")
+        hits = sum(
+            driver.overall.fraction_within(bound) * len(driver.completed)
+            for driver in (self.primary_driver, self.overflow_driver)
+            if driver.completed
         )
         return hits / total
 
@@ -98,9 +133,12 @@ class SplitSystem:
 class _NotifyingFCFS(FCFSScheduler):
     """FCFS that releases the classifier's Q1 slot on completion."""
 
+    name = "q1.fcfs"
+
     def __init__(self, system: SplitSystem):
         super().__init__()
         self._system = system
 
     def on_completion(self, request: Request) -> None:
         self._system.classifier.on_completion(request)
+        self._note_completion(request)

@@ -9,6 +9,7 @@ time statistics — the raw material of Figures 4-6.
 from __future__ import annotations
 
 from ..core.request import QoSClass, Request
+from ..obs.registry import NULL_REGISTRY, MetricsRegistry
 from ..sim.engine import Simulator
 from ..sim.stats import RateRecorder, ResponseTimeCollector
 from ..sched.base import Scheduler
@@ -26,6 +27,15 @@ class DeviceDriver:
     record_rates:
         When set, completions are also binned into a rate time series
         (used to draw Figure 2(c)); value is the bin width in seconds.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When
+        given, the driver emits ``<metrics_prefix>.arrivals`` /
+        ``dispatches`` / ``completions`` / ``deadline_misses`` counters
+        and binds the scheduler's standard instruments to the same
+        registry.  Defaults to the no-op registry (near-zero overhead).
+    metrics_prefix:
+        Metric name prefix — override when several drivers share one
+        registry (the split topology uses ``q1.driver`` / ``q2.driver``).
     """
 
     def __init__(
@@ -34,6 +44,8 @@ class DeviceDriver:
         server: Server,
         scheduler: Scheduler,
         record_rates: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        metrics_prefix: str = "driver",
     ):
         self.sim = sim
         self.server = server
@@ -47,9 +59,19 @@ class DeviceDriver:
         }
         self.overall = ResponseTimeCollector("overall")
         self.completion_rates = RateRecorder(record_rates) if record_rates else None
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.metrics_prefix = metrics_prefix
+        self._observed = self.metrics.enabled
+        if self._observed:
+            scheduler.bind_metrics(self.metrics)
+        self._m_arrivals = self.metrics.counter(f"{metrics_prefix}.arrivals")
+        self._m_dispatches = self.metrics.counter(f"{metrics_prefix}.dispatches")
+        self._m_completions = self.metrics.counter(f"{metrics_prefix}.completions")
+        self._m_misses = self.metrics.counter(f"{metrics_prefix}.deadline_misses")
 
     def on_arrival(self, request: Request) -> None:
         """Entry point for workload sources."""
+        self._m_arrivals.inc()
         self.scheduler.on_arrival(request)
         self._try_dispatch()
 
@@ -60,6 +82,7 @@ class DeviceDriver:
             request = self.scheduler.select(self.sim.now)
             if request is None:
                 return
+            self._m_dispatches.inc()
             self.server.dispatch(request)
 
     def _on_completion(self, request: Request) -> None:
@@ -68,6 +91,10 @@ class DeviceDriver:
         rt = request.response_time
         self.by_class[request.qos_class].add(rt)
         self.overall.add(rt)
+        if self._observed:
+            self._m_completions.inc()
+            if request.qos_class is QoSClass.PRIMARY and not request.met_deadline:
+                self._m_misses.inc()
         if self.completion_rates is not None:
             self.completion_rates.record(self.sim.now)
         self._try_dispatch()

@@ -22,13 +22,18 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 from .core.capacity import CapacityPlan, CapacityPlanner
 from .core.request import QoSClass
 from .core.rtt import DecompositionResult, decompose
 from .core.workload import Workload
 from .exceptions import ConfigurationError, SimulationError
+from .obs.export import export_run
+from .obs.registry import MetricsRegistry
+from .obs.sampler import Sampler, attach_standard_probes
 from .sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
 from .server.cluster import SplitSystem
 from .server.constant_rate import constant_rate_server
@@ -36,6 +41,34 @@ from .server.driver import DeviceDriver
 from .sim.engine import Simulator
 from .sim.source import WorkloadSource
 from .sim.stats import ResponseTimeCollector
+
+#: Planners kept strongly alive by a :class:`WorkloadShaper` (LRU).
+PLANNER_CACHE_SIZE = 8
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Metrics and samples captured during one :func:`run_policy` call.
+
+    Attributes
+    ----------
+    registry:
+        The run's metric registry (counters/gauges/histograms, final
+        values).
+    samples:
+        Periodic :class:`~repro.obs.sampler.Sampler` records — one dict
+        per tick plus a final end-of-run snapshot.
+    meta:
+        Run configuration echoed into the trace's ``meta`` line.
+    """
+
+    registry: MetricsRegistry
+    samples: list = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def export(self, path) -> int:
+        """Write the JSONL trace (see :func:`repro.obs.export.export_run`)."""
+        return export_run(path, self.registry, self.samples, meta=self.meta)
 
 
 @dataclass(frozen=True)
@@ -67,13 +100,20 @@ class PolicyRunResult:
     primary_misses: int
     #: (bin_starts, completion rate IOPS) when rate recording was enabled.
     completion_series: tuple | None = None
+    #: Metrics + samples when observability was enabled (``metrics=`` /
+    #: ``sample_interval=``); ``None`` for unobserved runs.
+    telemetry: RunTelemetry | None = None
 
     @property
     def total_capacity(self) -> float:
         return self.cmin + self.delta_c
 
     def fraction_within(self, bound: float | None = None) -> float:
-        """Overall fraction meeting ``bound`` (defaults to ``delta``)."""
+        """Overall fraction meeting ``bound`` (defaults to ``delta``).
+
+        ``NaN`` for a run that completed zero requests (empty workload) —
+        such a run has no compliance to report.
+        """
         return self.overall.fraction_within(self.delta if bound is None else bound)
 
     def binned_fractions(self, edges) -> dict[str, float]:
@@ -88,6 +128,8 @@ def run_policy(
     delta_c: float,
     delta: float,
     record_rates: float | None = None,
+    metrics: MetricsRegistry | None = None,
+    sample_interval: float | None = None,
 ) -> PolicyRunResult:
     """Simulate serving ``workload`` under ``policy`` and collect stats.
 
@@ -96,6 +138,11 @@ def run_policy(
     unpartitioned stream; Split dedicates ``cmin`` to ``Q1`` and
     ``delta_c`` to ``Q2`` on separate servers; FairQueue/WF²Q/Miser share
     a single ``cmin + delta_c`` server between the classes.
+
+    Passing ``metrics`` threads a registry through the driver(s) and
+    scheduler; ``sample_interval`` additionally installs a periodic
+    :class:`~repro.obs.sampler.Sampler` with the standard probe set.
+    Either one populates ``PolicyRunResult.telemetry``.
     """
     if cmin <= 0 or delta_c < 0 or delta <= 0:
         raise ConfigurationError(
@@ -105,19 +152,48 @@ def run_policy(
     if policy == "split":
         if record_rates is not None:
             raise ConfigurationError("rate recording is single-server only")
-        system = SplitSystem(sim, cmin, delta_c, delta)
+        system = SplitSystem(sim, cmin, delta_c, delta, metrics=metrics)
         sink = system
     elif policy in SINGLE_SERVER_POLICIES:
         scheduler = make_scheduler(policy, cmin, delta_c, delta)
         server = constant_rate_server(sim, cmin + delta_c, name=policy)
-        system = DeviceDriver(sim, server, scheduler, record_rates=record_rates)
+        system = DeviceDriver(
+            sim, server, scheduler, record_rates=record_rates, metrics=metrics
+        )
         sink = system
     else:
         raise ConfigurationError(f"unknown policy {policy!r}")
 
+    sampler: Sampler | None = None
+    if sample_interval is not None:
+        sampler = Sampler(sim, sample_interval)
+        attach_standard_probes(sampler, system)
+        # Periodic ticks cover the arrival window; the drain tail past
+        # ``duration`` is captured by the final snapshot below.
+        sampler.install(until=workload.duration)
+
     source = WorkloadSource(sim, workload, sink)
     source.start()
     sim.run()
+    if sampler is not None:
+        sampler.sample_now()
+
+    telemetry: RunTelemetry | None = None
+    if metrics is not None or sampler is not None:
+        telemetry = RunTelemetry(
+            registry=metrics if metrics is not None else system.metrics,
+            samples=sampler.records if sampler is not None else [],
+            meta={
+                "policy": policy,
+                "workload": workload.name,
+                "requests": len(workload),
+                "cmin": cmin,
+                "delta_c": delta_c,
+                "delta": delta,
+                "duration": workload.duration,
+                "sample_interval": sample_interval,
+            },
+        )
 
     completed = system.completed
     if len(completed) != len(workload):
@@ -148,6 +224,7 @@ def run_policy(
             if record_rates is not None
             else None
         ),
+        telemetry=telemetry,
     )
 
 
@@ -189,19 +266,37 @@ class WorkloadShaper:
         self.delta = delta
         self.fraction = fraction
         self.delta_c = delta_c if delta_c is not None else 1.0 / delta
-        self._planners: dict[int, CapacityPlanner] = {}
+        # Weak cache + bounded strong LRU: a plain id()-keyed dict held
+        # every planner (and via it every workload) forever, so shapers
+        # used across many workloads grew without bound — and a recycled
+        # id() could even alias a dead workload's entry.  The weak map
+        # drops entries as soon as nothing keeps the planner alive; the
+        # LRU pins the most recent PLANNER_CACHE_SIZE so memoization
+        # still works for the common reuse patterns.
+        self._planners: weakref.WeakValueDictionary[int, CapacityPlanner] = (
+            weakref.WeakValueDictionary()
+        )
+        self._planner_lru: OrderedDict[int, CapacityPlanner] = OrderedDict()
 
     def planner(self, workload: Workload) -> CapacityPlanner:
         """Per-workload planner, memoized for the shaper's lifetime.
 
         Repeated :meth:`plan` / :meth:`decompose` / :meth:`shape` calls
         on the same workload then share the planner's cached RTT
-        evaluations and bisection brackets.
+        evaluations and bisection brackets.  At most
+        :data:`PLANNER_CACHE_SIZE` planners are kept alive by the shaper
+        itself; older ones fall out of the weak cache once no caller
+        references them.
         """
-        planner = self._planners.get(id(workload))
+        key = id(workload)
+        planner = self._planners.get(key)
         if planner is None or planner.workload is not workload:
             planner = CapacityPlanner(workload, self.delta)
-            self._planners[id(workload)] = planner
+            self._planners[key] = planner
+        self._planner_lru[key] = planner
+        self._planner_lru.move_to_end(key)
+        while len(self._planner_lru) > PLANNER_CACHE_SIZE:
+            self._planner_lru.popitem(last=False)
         return planner
 
     def plan(self, workload: Workload) -> CapacityPlan:

@@ -24,6 +24,19 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1.0, lambda: print("fired at", sim.now))
         sim.run()
+
+    Tracing
+    -------
+    Two optional hooks observe the event loop itself (both ``None`` by
+    default, costing one identity check per event when disabled):
+
+    * ``on_event_scheduled(time, priority)`` — fires when an event is
+      pushed onto the queue;
+    * ``on_event_fired(time, priority)`` — fires just before an event's
+      callback runs.
+
+    They feed the :mod:`repro.obs` metric plane (event counts, queue
+    pressure) without the engine knowing anything about registries.
     """
 
     def __init__(self) -> None:
@@ -31,6 +44,9 @@ class Simulator:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        #: Optional trace hooks; see class docstring.
+        self.on_event_scheduled: Callable[[float, int], None] | None = None
+        self.on_event_fired: Callable[[float, int], None] | None = None
 
     @property
     def now(self) -> float:
@@ -61,6 +77,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time}: clock already at {self._now}"
             )
+        if self.on_event_scheduled is not None:
+            self.on_event_scheduled(max(time, self._now), priority)
         return self._queue.push(max(time, self._now), priority, callback)
 
     def schedule_after(
@@ -72,6 +90,8 @@ class Simulator:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
+        if self.on_event_scheduled is not None:
+            self.on_event_scheduled(self._now + delay, priority)
         return self._queue.push(self._now + delay, priority, callback)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -107,6 +127,8 @@ class Simulator:
                     )
                 self._now = max(self._now, event.time)
                 self._events_processed += 1
+                if self.on_event_fired is not None:
+                    self.on_event_fired(event.time, event.priority)
                 event.callback()
         finally:
             self._running = False

@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import SimulationError
+from ..obs.registry import validate_edges
 
 
 class OnlineStats:
@@ -91,9 +92,16 @@ class ResponseTimeCollector:
         return np.asarray(self._samples)
 
     def fraction_within(self, bound: float) -> float:
-        """Fraction of samples ``<= bound`` (deadline compliance)."""
+        """Fraction of samples ``<= bound`` (deadline compliance).
+
+        An empty collector has *no* compliance to report and returns
+        ``NaN`` — returning 1.0 here used to let FCFS runs claim perfect
+        per-class compliance for classes that collected nothing.
+        Callers that aggregate must weight by :func:`len` (zero-sample
+        collectors then drop out; see ``SplitSystem.fraction_within``).
+        """
         if not self._samples:
-            return 1.0
+            return float("nan")
         return float(np.count_nonzero(self.samples <= bound + 1e-12)) / len(self)
 
     def percentile(self, p: float) -> float:
@@ -116,11 +124,18 @@ class ResponseTimeCollector:
         ``edges=[a, b, c]`` yields keys ``<=a``, ``<=b``, ``<=c``, ``>c``
         with *cumulative* fractions for the ``<=`` bins and the residual
         tail mass for ``>c`` — exactly how Figure 6's bars read.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``edges`` is empty or not strictly increasing (an empty
+            list used to emit a bogus ``">0"`` key).
         """
+        validate_edges(edges, context="binned_fractions edges")
         result: dict[str, float] = {}
         for edge in edges:
             result[f"<={edge:g}"] = self.fraction_within(edge)
-        last = edges[-1] if len(edges) else 0.0
+        last = edges[-1]
         result[f">{last:g}"] = 1.0 - self.fraction_within(last)
         return result
 
@@ -148,9 +163,12 @@ class RateRecorder:
         self._counts: dict[int, int] = {}
 
     def record(self, time: float) -> None:
-        self._counts[int(time / self.bin_width)] = (
-            self._counts.get(int(time / self.bin_width), 0) + 1
-        )
+        if time < 0:
+            raise SimulationError(f"cannot record negative time {time}")
+        # floor, not int(): truncation toward zero would fold times in
+        # (-bin_width, 0) into bin 0 — and compute the index once.
+        index = math.floor(time / self.bin_width)
+        self._counts[index] = self._counts.get(index, 0) + 1
 
     def series(self) -> tuple[np.ndarray, np.ndarray]:
         """(bin_starts, rates in events/second), dense from bin 0."""

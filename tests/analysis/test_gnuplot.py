@@ -81,7 +81,7 @@ class TestRemainingFigureExports:
         from repro.experiments import figure6
 
         result = figure6.run(config, fractions=(0.9,))
-        paths = export_figure6(result, tmp_path / "f6")
+        export_figure6(result, tmp_path / "f6")
         assert (tmp_path / "f6_f90.dat").exists()
         assert "histogram" in (tmp_path / "f6.gp").read_text()
 
@@ -93,7 +93,7 @@ class TestRemainingFigureExports:
             config, workload_names=("fintrans",), fractions=(1.0, 0.9),
             shifts=(1.0,),
         )
-        paths = export_figure7(result, tmp_path / "f7")
+        export_figure7(result, tmp_path / "f7")
         body = (tmp_path / "f7_f100.dat").read_text()
         assert "estimate" in body and "shift1s" in body
 

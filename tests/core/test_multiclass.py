@@ -11,7 +11,6 @@ from repro.core.multiclass import (
 )
 from repro.core.rtt import decompose, primary_response_times
 from repro.core.sla import GraduatedSLA
-from repro.core.workload import Workload
 from repro.exceptions import ConfigurationError
 
 

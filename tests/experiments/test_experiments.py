@@ -229,7 +229,9 @@ class TestRunner:
         serial = capsys.readouterr().out
         assert main(args + ["--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
-        strip = lambda text: re.sub(r"\(\d+\.\d s\)", "", text)
+        def strip(text):
+            return re.sub(r"\(\d+\.\d s\)", "", text)
+
         assert strip(parallel) == strip(serial)
 
     def test_jobs_validation(self):

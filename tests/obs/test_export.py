@@ -1,0 +1,92 @@
+"""Tests for the JSONL exporter and the summary pretty-printer."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry, export_run, read_jsonl, summarize, summarize_file
+
+
+def make_registry():
+    reg = MetricsRegistry()
+    reg.counter("driver.arrivals").inc(10)
+    reg.gauge("depth").set(3)
+    h = reg.histogram("rt", edges=[0.1, 0.5])
+    h.observe(0.05)
+    h.observe(0.9)
+    return reg
+
+
+class TestExportRun:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        samples = [{"t": 0.5, "queue_depth": 2}, {"t": 1.0, "queue_depth": 0}]
+        lines = export_run(path, make_registry(), samples, meta={"policy": "miser"})
+        # 1 meta + 2 samples + 3 metrics.
+        assert lines == 6
+        records = read_jsonl(path)
+        assert len(records) == 6
+        assert records[0] == {"type": "meta", "policy": "miser"}
+        assert records[1] == {"type": "sample", "t": 0.5, "queue_depth": 2}
+        metric_names = {r["name"] for r in records if r["type"] == "metric"}
+        assert metric_names == {"driver.arrivals", "depth", "rt"}
+
+    def test_non_finite_sample_values_become_null(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_run(
+            path,
+            MetricsRegistry(),
+            [{"t": 0.0, "min_slack": float("nan"), "x": float("inf")}],
+        )
+        sample = read_jsonl(path)[1]
+        assert sample["min_slack"] is None
+        assert sample["x"] is None
+
+    def test_meta_only(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert export_run(path, MetricsRegistry()) == 1
+
+
+class TestReadJsonl:
+    def test_bad_json_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="2: not valid JSON"):
+            read_jsonl(path)
+
+    def test_missing_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1.0}\n')
+        with pytest.raises(ConfigurationError, match="'type' key"):
+            read_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        path.write_text('{"type": "meta"}\n\n{"type": "sample", "t": 0}\n')
+        assert len(read_jsonl(path)) == 2
+
+
+class TestSummarize:
+    def test_sections_present(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_run(
+            path,
+            make_registry(),
+            [{"t": 0.5, "queue_depth": 2}, {"t": 1.0, "queue_depth": 0}],
+            meta={"policy": "miser", "workload": "toy"},
+        )
+        text = summarize_file(path)
+        assert "policy=miser" in text
+        assert "driver.arrivals" in text
+        assert "histogram rt" in text
+        assert "queue_depth" in text
+        assert "2 ticks" in text
+
+    def test_null_only_column_renders_dashes(self):
+        text = summarize(
+            [{"type": "sample", "t": 0.0, "min_slack": None}]
+        )
+        assert "min_slack" in text
+        assert "-" in text
+
+    def test_empty_stream(self):
+        assert summarize([]) == "no telemetry records"

@@ -1,0 +1,150 @@
+"""Tests for metric instruments and the pluggable registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    validate_edges,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            Counter("x").inc(-1.0)
+
+    def test_snapshot(self):
+        c = Counter("driver.arrivals")
+        c.inc()
+        assert c.snapshot() == {
+            "name": "driver.arrivals",
+            "kind": "counter",
+            "value": 1.0,
+        }
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(5.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 4.0
+        assert g.snapshot()["kind"] == "gauge"
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram("rt", edges=[0.1, 0.5])
+        for v in (0.05, 0.1, 0.3, 0.9):
+            h.observe(v)
+        snap = h.snapshot()
+        # bisect_left: values == edge land in that edge's bucket.
+        assert snap["counts"] == [2, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(1.35)
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", edges=[])
+        with pytest.raises(ConfigurationError):
+            Histogram("h", edges=[2.0, 1.0])
+
+
+class TestValidateEdges:
+    def test_empty(self):
+        with pytest.raises(ConfigurationError, match="at least one edge"):
+            validate_edges([])
+
+    def test_not_increasing(self):
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            validate_edges([1.0, 1.0])
+
+    def test_context_in_message(self):
+        with pytest.raises(ConfigurationError, match="figure bins"):
+            validate_edges([], context="figure bins")
+
+    def test_ok(self):
+        validate_edges([0.1, 0.2, 0.3])
+
+
+class TestMetricsRegistry:
+    def test_memoizes_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.gauge("a")
+
+    def test_value_defaults_to_zero(self):
+        assert MetricsRegistry().value("never.registered") == 0.0
+
+    def test_value_rejects_histogram(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=[1.0])
+        with pytest.raises(ConfigurationError, match="histogram"):
+            reg.value("h")
+
+    def test_counters_view(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc()
+        reg.gauge("g").set(9)
+        assert reg.counters() == {"a": 1.0, "b": 2.0}
+
+    def test_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert [s["name"] for s in reg.snapshot()] == ["a", "z"]
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True
+
+
+class TestNullRegistry:
+    def test_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+
+    def test_shared_singletons(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.gauge("a") is reg.gauge("b")
+        assert reg.histogram("a", [1.0]) is reg.histogram("b", [2.0])
+
+    def test_noop_instruments(self):
+        reg = NullRegistry()
+        c = reg.counter("a")
+        c.inc(100)
+        assert c.value == 0.0
+        g = reg.gauge("a")
+        g.set(5)
+        g.inc()
+        assert g.value == 0.0
+        h = reg.histogram("a", [1.0])
+        h.observe(0.5)
+        assert h.count == 0
+
+    def test_registers_nothing(self):
+        reg = NullRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert len(reg) == 0
+        assert reg.snapshot() == []

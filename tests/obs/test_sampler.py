@@ -1,0 +1,110 @@
+"""Tests for the periodic sampler and the standard probe set."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry, Sampler, attach_standard_probes, depth_reconciles
+from repro.sched.fcfs import FCFSScheduler
+from repro.server.constant_rate import constant_rate_server
+from repro.server.driver import DeviceDriver
+from repro.sim.engine import Simulator
+
+
+class TestSampler:
+    def test_interval_validated(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            Sampler(Simulator(), 0.0)
+
+    def test_reserved_and_duplicate_names(self):
+        sampler = Sampler(Simulator(), 1.0)
+        with pytest.raises(ConfigurationError, match="reserved"):
+            sampler.probe("t", lambda: 0)
+        sampler.probe("depth", lambda: 0)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            sampler.probe("depth", lambda: 1)
+
+    def test_sample_now_records_time_and_probes(self):
+        sim = Simulator()
+        sampler = Sampler(sim, 1.0)
+        sampler.probe("x", lambda: 42)
+        record = sampler.sample_now()
+        assert record == {"t": 0.0, "x": 42}
+        assert sampler.records == [record]
+
+    def test_periodic_ticks(self):
+        sim = Simulator()
+        sampler = Sampler(sim, 1.0)
+        ticks = []
+        sampler.probe("n", lambda: len(ticks))
+        sampler.install(until=3.5)
+        # Keep the sim alive past the last tick.
+        sim.schedule(3.5, lambda: None)
+        sim.run()
+        assert [r["t"] for r in sampler.records] == [1.0, 2.0, 3.0]
+
+    def test_series_maps_none_to_nan(self):
+        sim = Simulator()
+        sampler = Sampler(sim, 1.0)
+        values = iter([1.0, None, 3.0])
+        sampler.probe("v", lambda: next(values))
+        for _ in range(3):
+            sampler.sample_now()
+        times, series = sampler.series("v")
+        assert times.tolist() == [0.0, 0.0, 0.0]
+        assert series[0] == 1.0
+        assert math.isnan(series[1])
+        assert series[2] == 3.0
+
+    def test_series_unknown_probe(self):
+        with pytest.raises(ConfigurationError, match="unknown probe"):
+            Sampler(Simulator(), 1.0).series("nope")
+
+
+class TestStandardProbes:
+    def make_driver(self, metrics=None):
+        sim = Simulator()
+        driver = DeviceDriver(
+            sim,
+            constant_rate_server(sim, 100.0, "s"),
+            FCFSScheduler(),
+            metrics=metrics,
+        )
+        return sim, driver
+
+    def test_driver_probe_names(self):
+        sim, driver = self.make_driver(metrics=MetricsRegistry())
+        sampler = attach_standard_probes(Sampler(sim, 1.0), driver)
+        names = set(sampler.probe_names)
+        assert {"queue_depth", "server_busy", "server_busy_fraction"} <= names
+        assert {"arrivals", "dispatches", "completions", "deadline_misses"} <= names
+
+    def test_counter_columns_absent_without_registry(self):
+        sim, driver = self.make_driver(metrics=None)
+        sampler = attach_standard_probes(Sampler(sim, 1.0), driver)
+        assert "arrivals" not in sampler.probe_names
+        assert "queue_depth" in sampler.probe_names
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError, match="probe"):
+            attach_standard_probes(Sampler(Simulator(), 1.0), object())
+
+
+class TestDepthReconciles:
+    def test_holds(self):
+        records = [{"t": 0, "queue_depth": 2, "arrivals": 5, "dispatches": 3}]
+        assert depth_reconciles(records)
+
+    def test_violation_detected(self):
+        records = [{"t": 0, "queue_depth": 1, "arrivals": 5, "dispatches": 3}]
+        assert not depth_reconciles(records)
+
+    def test_missing_columns_skipped(self):
+        assert depth_reconciles([{"t": 0, "queue_depth": 7}])
+
+    def test_prefix(self):
+        records = [
+            {"t": 0, "q1_queue_depth": 0, "q1_arrivals": 2, "q1_dispatches": 2}
+        ]
+        assert depth_reconciles(records, prefix="q1_")

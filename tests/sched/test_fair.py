@@ -129,7 +129,6 @@ class TestFairnessBound:
 class TestVirtualTimeMonotone:
     def test_tags_do_not_regress(self):
         q = FairQueue({1: 1.0, 2: 2.0})
-        starts = []
         for i in range(20):
             q.add(1 + i % 2, req())
             if i % 3 == 0:

@@ -97,6 +97,91 @@ class TestSlackGating:
         assert miser.slack_dispatches == 0
 
 
+class TestTelemetryAgainstHandTrace:
+    """Algorithm 2 worked by hand, with the metrics checked at each step.
+
+    Scheduler: limit 3 (capacity 30, delta 0.1).  Trace:
+
+    ======  =======================  =============================
+    step    action                   slack state (Q1 effective)
+    ======  =======================  =============================
+    1-3     p1, p2, p3 arrive        {2, 1, 0} (occupancies 1,2,3)
+    4       o1 arrives (queue full)  Q2 = [o1], min slack 0
+    5-6     serve+complete p1        {1, 0} -> len_q1 = 2
+    7-8     serve+complete p2        {0} -> len_q1 = 1
+    9       p4 arrives               slack floor(3-2)=1 -> {0, 1}
+    10-11   serve+complete p3        {1} -> min slack 1
+    12      select -> o1!            slack dispatch; decrement -> {0}
+    13      serve p4                 tracker empty
+    ======  =======================  =============================
+    """
+
+    def test_trace(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        miser = make_miser(capacity=30.0, delta=0.1)  # limit = 3
+        miser.bind_metrics(registry)
+
+        p1, p2, p3, p4, o1 = (req(t) for t in (0.0, 0.0, 0.0, 0.3, 0.1))
+        for r in (p1, p2, p3):
+            miser.on_arrival(r)
+        miser.on_arrival(o1)
+        assert o1.qos_class is QoSClass.OVERFLOW
+        assert miser.min_slack == 0  # p3 was admitted into the last slot
+
+        def complete(r, at):
+            # What the server does before notifying the scheduler.
+            r.completion = at
+            miser.on_completion(r)
+
+        assert miser.select(0.0) is p1
+        complete(p1, 0.03)
+        assert miser.select(0.0) is p2
+        complete(p2, 0.06)
+
+        miser.on_arrival(p4)  # occupancy 2 of 3 -> slack 1
+        assert p4.qos_class is QoSClass.PRIMARY
+        assert miser.min_slack == 0  # p3's arrival-time slack still queued
+
+        assert miser.select(0.0) is p3
+        complete(p3, 0.09)
+        assert miser.min_slack == 1  # only p4 remains
+
+        # The defining move: o1 overtakes the queued p4 on slack.
+        assert miser.select(0.0) is o1
+        assert miser.slack_dispatches == 1
+        assert miser.min_slack == 0  # decrement_all charged p4
+
+        assert miser.select(0.0) is p4
+        assert miser.select(0.0) is None
+        assert is_unconstrained(miser.min_slack)
+
+        counters = registry.counters()
+        assert counters["sched.miser.arrivals"] == 5
+        assert counters["sched.miser.arrivals_q1"] == 4
+        assert counters["sched.miser.arrivals_q2"] == 1
+        assert counters["sched.miser.dispatches"] == 5
+        assert counters["sched.miser.dispatches_q1"] == 4
+        assert counters["sched.miser.dispatches_q2"] == 1
+        assert counters["sched.miser.slack_dispatches"] == 1
+        assert counters["sched.miser.deadline_misses"] == 0
+
+    def test_deadline_miss_counted_on_completion(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        miser = make_miser(capacity=30.0, delta=0.1)
+        miser.bind_metrics(registry)
+        late = req(0.0)
+        miser.on_arrival(late)
+        assert late.qos_class is QoSClass.PRIMARY
+        assert miser.select(0.0) is late
+        late.completion = late.deadline + 1.0
+        miser.on_completion(late)
+        assert registry.value("sched.miser.deadline_misses") == 1
+
+
 class TestEndToEnd:
     def test_all_served_exactly_once(self, bursty_workload):
         result = run_policy(bursty_workload, "miser", 40.0, 10.0, 0.1)

@@ -1,6 +1,5 @@
 """Tests for the multi-unit server farm."""
 
-import numpy as np
 import pytest
 
 from repro.core.workload import Workload

@@ -1,0 +1,55 @@
+"""Tests for the engine's event trace hooks."""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import PRIORITY_ARRIVAL, PRIORITY_COMPLETION
+
+
+class TestTraceHooks:
+    def test_hooks_default_off(self):
+        sim = Simulator()
+        assert sim.on_event_scheduled is None
+        assert sim.on_event_fired is None
+        sim.schedule(1.0, lambda: None)
+        sim.run()  # no hooks: nothing to go wrong
+
+    def test_scheduled_hook_sees_time_and_priority(self):
+        sim = Simulator()
+        seen = []
+        sim.on_event_scheduled = lambda t, p: seen.append((t, p))
+        sim.schedule(2.0, lambda: None, priority=PRIORITY_ARRIVAL)
+        sim.schedule(1.0, lambda: None, priority=PRIORITY_COMPLETION)
+        assert seen == [(2.0, PRIORITY_ARRIVAL), (1.0, PRIORITY_COMPLETION)]
+
+    def test_fired_hook_sees_execution_order(self):
+        sim = Simulator()
+        fired = []
+        sim.on_event_fired = lambda t, p: fired.append((t, p))
+        sim.schedule(2.0, lambda: None, priority=PRIORITY_ARRIVAL)
+        sim.schedule(1.0, lambda: None, priority=PRIORITY_COMPLETION)
+        sim.run()
+        assert fired == [(1.0, PRIORITY_COMPLETION), (2.0, PRIORITY_ARRIVAL)]
+
+    def test_schedule_after_triggers_hook(self):
+        sim = Simulator()
+        seen = []
+        sim.on_event_scheduled = lambda t, p: seen.append(t)
+        sim.schedule_after(0.5, lambda: None)
+        assert seen == [0.5]
+
+    def test_fired_hook_counts_every_event(self):
+        sim = Simulator()
+        counts = {"scheduled": 0, "fired": 0}
+        sim.on_event_scheduled = lambda t, p: counts.__setitem__(
+            "scheduled", counts["scheduled"] + 1
+        )
+        sim.on_event_fired = lambda t, p: counts.__setitem__(
+            "fired", counts["fired"] + 1
+        )
+
+        def chain(depth: int) -> None:
+            if depth:
+                sim.schedule_after(0.1, lambda: chain(depth - 1))
+
+        chain(5)
+        sim.run()
+        assert counts == {"scheduled": 5, "fired": 5}

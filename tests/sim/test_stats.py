@@ -1,9 +1,11 @@
 """Tests for statistics collection."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.exceptions import SimulationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.sim.stats import OnlineStats, RateRecorder, ResponseTimeCollector
 
 
@@ -67,8 +69,10 @@ class TestResponseTimeCollector:
         c.add(0.01)
         assert c.fraction_within(0.01) == 1.0
 
-    def test_empty_fraction_is_one(self):
-        assert ResponseTimeCollector().fraction_within(0.1) == 1.0
+    def test_empty_fraction_is_nan(self):
+        # An empty collector has no compliance to report: NaN, not a
+        # vacuous 1.0 that would read as "perfect compliance".
+        assert math.isnan(ResponseTimeCollector().fraction_within(0.1))
 
     def test_negative_sample_rejected(self):
         c = ResponseTimeCollector("q")
@@ -96,6 +100,20 @@ class TestResponseTimeCollector:
         assert bins["<=0.5"] == pytest.approx(0.6)
         assert bins["<=1"] == pytest.approx(0.8)
         assert bins[">1"] == pytest.approx(0.2)
+
+    def test_binned_fractions_empty_edges_rejected(self):
+        c = ResponseTimeCollector()
+        c.add(0.1)
+        with pytest.raises(ConfigurationError, match="at least one edge"):
+            c.binned_fractions([])
+
+    def test_binned_fractions_unsorted_edges_rejected(self):
+        c = ResponseTimeCollector()
+        c.add(0.1)
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            c.binned_fractions([0.5, 0.1])
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            c.binned_fractions([0.1, 0.1])
 
     def test_summary_keys(self):
         c = ResponseTimeCollector("q1")
@@ -134,3 +152,20 @@ class TestRateRecorder:
     def test_invalid_bin(self):
         with pytest.raises(SimulationError):
             RateRecorder(bin_width=0.0)
+
+    def test_negative_time_rejected(self):
+        r = RateRecorder(bin_width=1.0)
+        with pytest.raises(SimulationError, match="negative"):
+            r.record(-0.5)
+
+    def test_floor_binning_near_zero(self):
+        # int() truncation would have put a time in (-bin, 0) into bin 0;
+        # flooring plus the negative-time guard keeps bins well-defined,
+        # and times exactly on an edge go to the upper bin.
+        r = RateRecorder(bin_width=1.0)
+        r.record(0.0)
+        r.record(1.0)
+        r.record(0.999999)
+        starts, rates = r.series()
+        assert starts.tolist() == [0.0, 1.0]
+        assert rates.tolist() == [2.0, 1.0]
