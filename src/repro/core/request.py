@@ -75,6 +75,9 @@ class Request:
         Instant service started (set by the server), ``None`` before that.
     completion:
         Instant service finished, ``None`` before that.
+    retries:
+        Times the request re-entered a queue after a crash-requeue or a
+        driver timeout (see :mod:`repro.faults`); 0 on the healthy path.
     """
 
     arrival: float
@@ -87,6 +90,7 @@ class Request:
     deadline: float | None = None
     dispatch: float | None = None
     completion: float | None = None
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival < 0:

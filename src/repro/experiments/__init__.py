@@ -1,6 +1,6 @@
 """Reproduction experiments: one module per table/figure of the paper."""
 
-from . import extensions, sensitivity, verify, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
+from . import extensions, resilience, sensitivity, verify, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
 from .common import (
     FIGURE6_EDGES,
     PAPER_DELTAS,
@@ -12,6 +12,7 @@ from .runner import EXPERIMENTS, run_experiment
 
 __all__ = [
     "extensions",
+    "resilience",
     "sensitivity",
     "verify",
     "figure2",

@@ -29,7 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from ..sim.rng import derive_seed
-from . import extensions, sensitivity, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
+from . import extensions, resilience, sensitivity, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
 from .common import ExperimentConfig
 
 #: Experiment registry: name -> (run, render) callables.
@@ -45,6 +45,7 @@ EXPERIMENTS = {
     # Beyond the paper (not part of "all"):
     "extensions": (extensions.run, extensions.render),
     "sensitivity": (sensitivity.run, sensitivity.render),
+    "resilience": (resilience.run, resilience.render),
 }
 
 #: Paper presentation order for "all" (extensions run only by name).

@@ -1,0 +1,81 @@
+"""Timeout-and-retry policy for the device driver.
+
+A :class:`RetryPolicy` gives the driver per-class dispatch timeouts and
+a bounded, exponentially backed-off retry budget.  The semantics are
+deliberately conservative toward the guaranteed class:
+
+* a request that times out (or is requeued by a crash) is **demoted**
+  from ``Q1`` to ``Q2`` before re-entering a queue, releasing its
+  classifier slot — a retried request can never evict a fresh guaranteed
+  request from the primary class;
+* retries re-enter through :meth:`repro.sched.base.Scheduler.on_requeue`
+  (no re-classification, no second admission);
+* once ``max_retries`` is exhausted the request is dropped and counted —
+  it appears exactly once in the conservation ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.request import QoSClass, Request
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Driver timeout/retry knobs.
+
+    Parameters
+    ----------
+    timeout_q1, timeout_q2:
+        Seconds a dispatched request of each class may stay in service
+        before the driver aborts and retries it.  ``None`` disables the
+        timeout for that class (crash-requeues still retry).
+        ``timeout_q2`` also covers unclassified requests (FCFS).
+    max_retries:
+        Retry budget per request; the attempt that would exceed it drops
+        the request instead.
+    backoff_base:
+        Delay before the first retry re-enters the queue (seconds).
+    backoff_factor:
+        Multiplier applied per subsequent retry (exponential backoff).
+    """
+
+    timeout_q1: float | None = None
+    timeout_q2: float | None = None
+    max_retries: int = 3
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        for label, value in (("timeout_q1", self.timeout_q1),
+                             ("timeout_q2", self.timeout_q2)):
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"{label} must be positive or None, got {value}"
+                )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigurationError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def timeout_for(self, request: Request) -> float | None:
+        """The dispatch timeout applying to ``request``'s current class."""
+        if request.qos_class is QoSClass.PRIMARY:
+            return self.timeout_q1
+        return self.timeout_q2
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Queue re-entry delay before retry number ``attempt`` (1-based)."""
+        if attempt <= 0:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base * (self.backoff_factor ** (attempt - 1))

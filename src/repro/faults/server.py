@@ -1,0 +1,143 @@
+"""Crash-capable servers: fail-stop semantics over any service model.
+
+:class:`FaultableServer` extends the plain :class:`~repro.server.base.
+Server` with an explicit up/down state and well-defined in-flight
+semantics:
+
+* ``crash()`` cancels the in-flight completion (if any), refunds the
+  unserved busy time, and either **requeues** the interrupted request to
+  the driver (``inflight="requeue"``, the default) or **loses** it
+  (``inflight="drop"`` — a write lost in a volatile cache).  Every
+  outcome is surfaced through callbacks so the driver keeps its
+  conservation accounting exact.
+* While down the server reports ``busy``, so drivers naturally stop
+  dispatching to it without special-casing failures.
+* ``recover()`` brings it back and pings ``on_recovery`` — the driver's
+  cue to drain whatever backlog accumulated during the outage.
+* ``abort(request)`` cancels one in-flight request without downing the
+  server — the primitive behind the driver's timeout-and-retry path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.request import Request
+from ..exceptions import ConfigurationError, SchedulerError
+from ..server.base import Server, ServiceTimeModel
+from ..sim.engine import Simulator
+
+#: Valid in-flight dispositions for a crash.
+INFLIGHT_POLICIES = ("requeue", "drop")
+
+
+class FaultableServer(Server):
+    """A :class:`Server` that can crash, recover, and abort requests.
+
+    Parameters
+    ----------
+    sim, model, name:
+        As for :class:`~repro.server.base.Server`.
+    inflight:
+        What happens to a request caught in service by a crash:
+        ``"requeue"`` hands it back through ``on_requeue`` (it will be
+        retried), ``"drop"`` reports it through ``on_loss`` (it is gone).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: ServiceTimeModel,
+        name: str = "server",
+        inflight: str = "requeue",
+    ):
+        if inflight not in INFLIGHT_POLICIES:
+            raise ConfigurationError(
+                f"inflight must be one of {INFLIGHT_POLICIES}, got {inflight!r}"
+            )
+        super().__init__(sim, model, name)
+        self.inflight = inflight
+        self.down = False
+        self.crashes = 0
+        self.repairs = 0
+        self.requeues = 0
+        self.losses = 0
+        self.aborts = 0
+        #: Crash handed an in-flight request back; the driver re-enqueues it.
+        self.on_requeue: Callable[[Request], None] | None = None
+        #: Crash destroyed an in-flight request; the driver records the loss.
+        self.on_loss: Callable[[Request], None] | None = None
+        #: Repair finished; the driver should try dispatching again.
+        self.on_recovery: Callable[[], None] | None = None
+
+    @property
+    def busy(self) -> bool:
+        """Down servers are indistinguishable from busy ones to drivers."""
+        return self.down or self._current is not None
+
+    def dispatch(self, request: Request) -> None:
+        if self.down:
+            raise SchedulerError(f"{self.name}: dispatch while down")
+        super().dispatch(request)
+
+    def _cancel_inflight(self) -> Request:
+        """Cancel the pending completion; returns the interrupted request."""
+        request = self._current
+        self._completion_event.cancel()
+        self._completion_event = None
+        self._current = None
+        # Refund the unserved remainder so utilization reflects only the
+        # service actually delivered before the interruption.
+        self._busy_time -= max(0.0, self._service_end - self.sim.now)
+        request.dispatch = None
+        return request
+
+    def crash(self) -> None:
+        """Fail-stop now.  Idempotent while already down."""
+        if self.down:
+            return
+        self.down = True
+        self.crashes += 1
+        if self._current is None:
+            return
+        request = self._cancel_inflight()
+        if self.inflight == "requeue":
+            self.requeues += 1
+            if self.on_requeue is not None:
+                self.on_requeue(request)
+        else:
+            self.losses += 1
+            if self.on_loss is not None:
+                self.on_loss(request)
+
+    def recover(self) -> None:
+        """Repair finished.  Idempotent while already up."""
+        if not self.down:
+            return
+        self.down = False
+        self.repairs += 1
+        if self.on_recovery is not None:
+            self.on_recovery()
+
+    def abort(self, request: Request) -> bool:
+        """Cancel ``request`` if it is the one in service.
+
+        Returns True when the request was in flight (it is now neither
+        queued nor in service — the caller owns its fate); False when it
+        already completed or is not here.
+        """
+        if self._current is not request:
+            return False
+        self._cancel_inflight()
+        self.aborts += 1
+        return True
+
+    def fault_counters(self) -> dict[str, int]:
+        """Snapshot of the ``faults.*`` counter values this server owns."""
+        return {
+            "crashes": self.crashes,
+            "repairs": self.repairs,
+            "requeues": self.requeues,
+            "losses": self.losses,
+            "aborts": self.aborts,
+        }

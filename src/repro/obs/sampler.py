@@ -43,6 +43,7 @@ class Sampler:
         self.sim = sim
         self.interval = interval
         self._probes: dict[str, Callable[[], float | None]] = {}
+        self._tick_hooks: list[Callable[[dict], None]] = []
         #: One dict per tick: ``{"t": <time>, <probe>: <value>, ...}``.
         self.records: list[dict] = []
 
@@ -58,12 +59,25 @@ class Sampler:
     def probe_names(self) -> tuple[str, ...]:
         return tuple(self._probes)
 
+    def add_tick_hook(self, fn: Callable[[dict], None]) -> None:
+        """Run ``fn(record)`` after each snapshot is taken.
+
+        Tick hooks are the sampler's *reactive* side: unlike probes they
+        may mutate system state (the adaptive shaping controller lives
+        here), so they run after the record is captured — each record
+        reflects the state the hook reacted *to*, not the state it
+        produced.
+        """
+        self._tick_hooks.append(fn)
+
     def sample_now(self) -> dict:
         """Take one snapshot immediately (also used by the periodic tick)."""
         record: dict = {"t": self.sim.now}
         for name, fn in self._probes.items():
             record[name] = fn()
         self.records.append(record)
+        for hook in self._tick_hooks:
+            hook(record)
         return record
 
     def install(self, until: float) -> None:

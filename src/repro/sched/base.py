@@ -106,6 +106,29 @@ class Scheduler(abc.ABC):
         """Hook invoked when ``request`` finishes service."""
         self._note_completion(request)
 
+    def on_requeue(self, request: Request) -> None:
+        """Re-admit a retried request *without* re-classification.
+
+        The fault plane (:mod:`repro.faults`) demotes retried requests
+        to the overflow class before calling this, so the default joins
+        the best-effort queue: re-entering through :meth:`on_arrival`
+        would consume a second ``Q1`` admission and let a stale retry
+        evict a fresh guaranteed request.  Schedulers with class queues
+        override this to append directly to ``Q2``; the single-queue
+        default falls back to :meth:`on_arrival` (FCFS has no classes to
+        protect).
+        """
+        self.on_arrival(request)
+
+    def shed_overflow(self, keep: int = 0) -> list[Request]:
+        """Drop queued overflow requests beyond ``keep`` (newest first).
+
+        Load-shedding hook for the adaptive controller: returns the shed
+        requests so the caller can account for them (they will never
+        complete).  Schedulers without an overflow queue shed nothing.
+        """
+        return []
+
     @abc.abstractmethod
     def pending(self) -> int:
         """Number of queued (not yet dispatched) requests."""

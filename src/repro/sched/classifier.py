@@ -38,6 +38,9 @@ class OnlineRTTClassifier:
         self.delta = float(delta)
         #: Queue bound in whole requests: occupancy never exceeds this.
         self.limit = math.floor(capacity * delta + 1e-9)
+        #: The planned (healthy-server) bound; ``set_limit`` may shrink
+        #: ``limit`` below this during degradation, never above it.
+        self.planned_limit = self.limit
         #: Primary requests outstanding (queued + in service).
         self.len_q1 = 0
         self.n_primary = 0
@@ -47,6 +50,19 @@ class OnlineRTTClassifier:
     def max_queue(self) -> float:
         """The paper's ``maxQ1 = C * delta`` (possibly fractional)."""
         return self.capacity * self.delta
+
+    def set_limit(self, limit: int) -> None:
+        """Adaptively move the admission bound (see :mod:`repro.faults`).
+
+        The bound is clamped to ``[0, planned_limit]``: a degraded
+        server justifies admitting *less* than planned, never more — the
+        ``C·δ`` bound is only sound at the planned capacity.  Occupancy
+        above a shrunken limit simply drains; admission resumes once
+        ``len_q1`` falls below the new bound.
+        """
+        if limit < 0:
+            raise ConfigurationError(f"limit must be >= 0, got {limit}")
+        self.limit = min(int(limit), self.planned_limit)
 
     def classify(self, request: Request) -> QoSClass:
         """Assign the request to ``Q1`` or ``Q2`` (Algorithm 1).

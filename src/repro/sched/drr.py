@@ -69,7 +69,7 @@ class DeficitRoundRobin:
         while True:
             flow_id = self._rotation[0]
             queue = self._queues[flow_id]
-            if not queue:  # pragma: no cover - drained flows leave below
+            if not queue:  # pragma: no cover - drained flows leave rotation
                 self._rotation.popleft()
                 continue
             if not self._topped[flow_id]:
@@ -94,6 +94,25 @@ class DeficitRoundRobin:
 
     def backlog(self, flow_id: int) -> int:
         return len(self._queues[flow_id])
+
+    def drain(self, flow_id: int, keep: int = 0) -> list[Request]:
+        """Remove queued requests beyond ``keep`` from a flow's tail.
+
+        A flow drained to empty is cleaned out of the rotation lazily by
+        :meth:`select`, exactly as a flow served to empty is.
+        """
+        queue = self._queues[flow_id]
+        shed = []
+        while len(queue) > keep:
+            shed.append(queue.pop())
+            self._pending -= 1
+        if not queue and flow_id in self._rotation:
+            # Leave no stale rotation entry behind: a later ``add`` would
+            # re-append the flow and double its visits per round.
+            self._rotation.remove(flow_id)
+            self._deficit[flow_id] = 0.0
+            self._topped[flow_id] = False
+        return shed
 
 
 class DRRScheduler(Scheduler):
@@ -130,6 +149,13 @@ class DRRScheduler(Scheduler):
     def on_completion(self, request: Request) -> None:
         self.classifier.on_completion(request)
         self._note_completion(request)
+
+    def on_requeue(self, request: Request) -> None:
+        self._queue.add(int(QoSClass.OVERFLOW), request)
+        self._note_arrival(request)
+
+    def shed_overflow(self, keep: int = 0) -> list[Request]:
+        return self._queue.drain(int(QoSClass.OVERFLOW), keep)
 
     def pending(self) -> int:
         return len(self._queue)

@@ -129,6 +129,22 @@ class FairQueue:
     def backlog(self, flow_id: int) -> int:
         return len(self._flows[flow_id].queue)
 
+    def drain(self, flow_id: int, keep: int = 0) -> list[Request]:
+        """Remove queued requests beyond ``keep`` from a flow's tail.
+
+        The flow's ``last_finish`` tag is left untouched: the removed
+        requests already consumed virtual service, so post-shed arrivals
+        on this flow resume from where the flow would have been — a
+        slight penalty to the shed flow, never to the others.
+        """
+        flow = self._flows[flow_id]
+        shed = []
+        while len(flow.queue) > keep:
+            _, _, request = flow.queue.pop()
+            shed.append(request)
+            self._pending -= 1
+        return shed
+
 
 class FairQueueScheduler(Scheduler):
     """The paper's FairQueue recombiner: RTT split + fair sharing.
@@ -172,6 +188,13 @@ class FairQueueScheduler(Scheduler):
     def on_completion(self, request: Request) -> None:
         self.classifier.on_completion(request)
         self._note_completion(request)
+
+    def on_requeue(self, request: Request) -> None:
+        self._queue.add(int(QoSClass.OVERFLOW), request)
+        self._note_arrival(request)
+
+    def shed_overflow(self, keep: int = 0) -> list[Request]:
+        return self._queue.drain(int(QoSClass.OVERFLOW), keep)
 
     def pending(self) -> int:
         return len(self._queue)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from ..core.request import Request
+from ..core.request import QoSClass, Request
 from .base import Scheduler
 
 
@@ -32,6 +32,29 @@ class FCFSScheduler(Scheduler):
             self._note_dispatch(request)
             return request
         return None
+
+    def shed_overflow(self, keep: int = 0) -> list[Request]:
+        """Shed queued *overflow-class* requests beyond ``keep``.
+
+        As the single-server FCFS recombiner nothing is classified, so
+        nothing sheds; as the Split topology's dedicated ``Q2`` server
+        every queued request is overflow and the whole tail is fair
+        game.  Newest-first, like every other scheduler's shed.
+        """
+        overflow = sum(
+            1 for r in self._queue if r.qos_class is QoSClass.OVERFLOW
+        )
+        shed: list[Request] = []
+        keepers: deque[Request] = deque()
+        while self._queue and overflow > keep:
+            request = self._queue.pop()
+            if request.qos_class is QoSClass.OVERFLOW:
+                shed.append(request)
+                overflow -= 1
+            else:
+                keepers.appendleft(request)
+        self._queue.extend(keepers)
+        return shed
 
     def pending(self) -> int:
         return len(self._queue)

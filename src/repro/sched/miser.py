@@ -79,6 +79,18 @@ class MiserScheduler(Scheduler):
         self.classifier.on_completion(request)
         self._note_completion(request)
 
+    def on_requeue(self, request: Request) -> None:
+        # Retries join Q2 directly: no re-classification, no slack entry,
+        # so a retried request can never displace a fresh guaranteed one.
+        self._q2.append(request)
+        self._note_arrival(request)
+
+    def shed_overflow(self, keep: int = 0) -> list[Request]:
+        shed = []
+        while len(self._q2) > keep:
+            shed.append(self._q2.pop())
+        return shed
+
     def pending(self) -> int:
         return len(self._q1) + len(self._q2)
 

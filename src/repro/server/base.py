@@ -46,6 +46,11 @@ class Server:
         self._current: Request | None = None
         self._busy_time = 0.0
         self._completed = 0
+        # Completion bookkeeping kept so fault-capable subclasses can
+        # cancel an in-flight service (crash/abort) and refund the
+        # unserved remainder of the busy-time accounting.
+        self._completion_event = None
+        self._service_end = 0.0
 
     @property
     def busy(self) -> bool:
@@ -60,6 +65,11 @@ class Server:
     def completed(self) -> int:
         """Number of requests fully served."""
         return self._completed
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative seconds of committed service (basis of utilization)."""
+        return self._busy_time
 
     def utilization(self, horizon: float | None = None) -> float:
         """Fraction of time busy over ``horizon`` (defaults to sim.now)."""
@@ -90,7 +100,8 @@ class Server:
         request.dispatch = self.sim.now
         self._current = request
         self._busy_time += duration
-        self.sim.schedule_after(
+        self._service_end = self.sim.now + duration
+        self._completion_event = self.sim.schedule_after(
             duration, self._complete, priority=PRIORITY_COMPLETION
         )
 
@@ -99,6 +110,7 @@ class Server:
         if request is None:  # pragma: no cover - defensive
             raise SimulationError(f"{self.name}: completion with no request")
         self._current = None
+        self._completion_event = None
         self._completed += 1
         request.completion = self.sim.now
         if self.on_completion is not None:

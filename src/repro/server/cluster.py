@@ -6,9 +6,18 @@ The paper's ``Split`` recombiner sends ``Q1`` to the main server (capacity
 servers cannot share capacity: if one idles while the other is backlogged,
 that capacity is wasted, which is exactly the effect Section 4.3 measures
 against FairQueue and Miser.
+
+Fault tolerance: when built with crash-capable servers (``server_factory``
+producing :class:`~repro.faults.server.FaultableServer`), the front end
+fails over — an arrival whose dedicated server is down is routed to the
+surviving server (a ``Q1`` arrival is demoted to ``Q2`` first, releasing
+its admission slot, since the overflow server carries no guarantee).
+Routing decisions and failovers are surfaced as ``split.*`` counters.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from ..core.request import QoSClass, Request
 from ..exceptions import ConfigurationError
@@ -17,6 +26,7 @@ from ..sched.classifier import OnlineRTTClassifier
 from ..sched.fcfs import FCFSScheduler
 from ..sim.engine import Simulator
 from ..sim.stats import ResponseTimeCollector
+from .base import Server
 from .constant_rate import constant_rate_server
 from .driver import DeviceDriver
 
@@ -39,6 +49,15 @@ class SplitSystem:
         Optional registry shared by the front end and both drivers; the
         drivers emit under ``q1.driver`` / ``q2.driver`` and the front
         end counts routing decisions as ``split.routed_q1`` / ``_q2``.
+    server_factory:
+        Constructor ``(sim, capacity, name) -> Server`` for the two
+        servers; defaults to :func:`~repro.server.constant_rate.
+        constant_rate_server`.  The fault harness passes a factory
+        building :class:`~repro.faults.server.FaultableServer` units.
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` handed to both
+        drivers (timeout/retry semantics as in
+        :class:`~repro.server.driver.DeviceDriver`).
     """
 
     def __init__(
@@ -48,6 +67,8 @@ class SplitSystem:
         delta_c: float,
         delta: float,
         metrics: MetricsRegistry | None = None,
+        server_factory: Callable[[Simulator, float, str], Server] | None = None,
+        retry=None,
     ):
         if delta_c <= 0:
             raise ConfigurationError(
@@ -56,12 +77,17 @@ class SplitSystem:
         self.sim = sim
         self.classifier = OnlineRTTClassifier(cmin, delta)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        factory = server_factory if server_factory is not None else (
+            lambda s, capacity, name: constant_rate_server(s, capacity, name)
+        )
         self.primary_driver = DeviceDriver(
             sim,
-            constant_rate_server(sim, cmin, "primary"),
+            factory(sim, cmin, "primary"),
             _NotifyingFCFS(self),
             metrics=self.metrics,
             metrics_prefix="q1.driver",
+            retry=retry,
+            classifier=self.classifier,
         )
         overflow_sched = FCFSScheduler()
         # Both servers run FCFS; distinct scheduler names keep their
@@ -69,23 +95,55 @@ class SplitSystem:
         overflow_sched.name = "q2.fcfs"
         self.overflow_driver = DeviceDriver(
             sim,
-            constant_rate_server(sim, delta_c, "overflow"),
+            factory(sim, delta_c, "overflow"),
             overflow_sched,
             metrics=self.metrics,
             metrics_prefix="q2.driver",
+            retry=retry,
+            classifier=self.classifier,
         )
         self._m_routed_q1 = self.metrics.counter("split.routed_q1")
         self._m_routed_q2 = self.metrics.counter("split.routed_q2")
+        self._m_failovers = self.metrics.counter("split.failovers")
+        self.failovers = 0
+
+    @property
+    def servers(self) -> list[Server]:
+        """Both backing servers, primary first (fault-injection targets)."""
+        return [self.primary_driver.server, self.overflow_driver.server]
+
+    @staticmethod
+    def _down(driver: DeviceDriver) -> bool:
+        return getattr(driver.server, "down", False)
 
     def on_arrival(self, request: Request) -> None:
-        """Classify, then route to the class's dedicated server."""
+        """Classify, then route to the class's dedicated server.
+
+        If that server is down and the other is up, fail over: a ``Q1``
+        arrival is demoted (slot released) before taking the overflow
+        path; a ``Q2`` arrival simply borrows the primary server.  With
+        both servers down, the request queues at its dedicated driver
+        and waits for repair.
+        """
         qos = self.classifier.classify(request)
         if qos is QoSClass.PRIMARY:
             self._m_routed_q1.inc()
-            self.primary_driver.on_arrival(request)
+            if self._down(self.primary_driver) and not self._down(self.overflow_driver):
+                self.failovers += 1
+                self._m_failovers.inc()
+                self.classifier.on_completion(request)
+                request.classify(QoSClass.OVERFLOW)
+                self.overflow_driver.on_arrival(request)
+            else:
+                self.primary_driver.on_arrival(request)
         else:
             self._m_routed_q2.inc()
-            self.overflow_driver.on_arrival(request)
+            if self._down(self.overflow_driver) and not self._down(self.primary_driver):
+                self.failovers += 1
+                self._m_failovers.inc()
+                self.primary_driver.on_arrival(request)
+            else:
+                self.overflow_driver.on_arrival(request)
 
     # ------------------------------------------------------------------
     # Aggregated views matching DeviceDriver's reporting surface
@@ -96,6 +154,22 @@ class SplitSystem:
         return self.primary_driver.completed + self.overflow_driver.completed
 
     @property
+    def dropped(self) -> list[Request]:
+        return self.primary_driver.dropped + self.overflow_driver.dropped
+
+    @property
+    def shed(self) -> list[Request]:
+        return self.primary_driver.shed + self.overflow_driver.shed
+
+    @property
+    def q1_completed(self) -> int:
+        return self.primary_driver.q1_completed + self.overflow_driver.q1_completed
+
+    @property
+    def q1_missed(self) -> int:
+        return self.primary_driver.q1_missed + self.overflow_driver.q1_missed
+
+    @property
     def overall(self) -> ResponseTimeCollector:
         merged = ResponseTimeCollector("overall")
         merged.extend(self.primary_driver.overall.samples)
@@ -104,10 +178,19 @@ class SplitSystem:
 
     @property
     def by_class(self) -> dict[QoSClass, ResponseTimeCollector]:
-        return {
-            QoSClass.PRIMARY: self.primary_driver.by_class[QoSClass.PRIMARY],
-            QoSClass.OVERFLOW: self.overflow_driver.by_class[QoSClass.OVERFLOW],
-        }
+        if self.failovers == 0:
+            return {
+                QoSClass.PRIMARY: self.primary_driver.by_class[QoSClass.PRIMARY],
+                QoSClass.OVERFLOW: self.overflow_driver.by_class[QoSClass.OVERFLOW],
+            }
+        # Failovers may land either class on either server: merge.
+        merged = {}
+        for qos in (QoSClass.PRIMARY, QoSClass.OVERFLOW):
+            collector = ResponseTimeCollector("Q1" if qos is QoSClass.PRIMARY else "Q2")
+            collector.extend(self.primary_driver.by_class[qos].samples)
+            collector.extend(self.overflow_driver.by_class[qos].samples)
+            merged[qos] = collector
+        return merged
 
     def fraction_within(self, bound: float) -> float:
         """Completed-weighted compliance across both servers.
@@ -127,7 +210,18 @@ class SplitSystem:
         return hits / total
 
     def primary_deadline_misses(self) -> int:
-        return self.primary_driver.primary_deadline_misses()
+        return (
+            self.primary_driver.primary_deadline_misses()
+            + self.overflow_driver.primary_deadline_misses()
+        )
+
+    def fault_ledger(self) -> dict[str, int]:
+        """Aggregated conservation buckets across both drivers."""
+        return {
+            "completed": len(self.completed),
+            "dropped": len(self.dropped),
+            "shed": len(self.shed),
+        }
 
 
 class _NotifyingFCFS(FCFSScheduler):

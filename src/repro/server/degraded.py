@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from ..core.request import Request
 from ..exceptions import ConfigurationError
 from ..sim.engine import Simulator
-from ..sim.rng import make_rng
+from ..sim.rng import derive_seed, make_rng
 from .base import ServiceTimeModel
 
 
@@ -34,6 +34,10 @@ class Brownout:
     factor: float
 
     def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigurationError(
+                f"brownout must start at or after t=0, got {self.start}"
+            )
         if self.end <= self.start:
             raise ConfigurationError(
                 f"brownout must end after it starts: [{self.start}, {self.end})"
@@ -74,9 +78,14 @@ class DegradedModel:
         return duration
 
     def degraded_fraction(self, horizon: float) -> float:
-        """Share of ``[0, horizon]`` covered by brownouts."""
+        """Share of ``[0, horizon]`` covered by brownouts.
+
+        Each window contributes only its overlap with ``[0, horizon]`` —
+        clipped at both ends, so a window straddling the horizon counts
+        the inside part only.
+        """
         covered = sum(
-            max(0.0, min(b.end, horizon) - min(b.start, horizon))
+            max(0.0, min(b.end, horizon) - max(b.start, 0.0))
             for b in self.brownouts
         )
         return covered / horizon if horizon > 0 else 0.0
@@ -103,7 +112,10 @@ class FlakyModel:
         self.base = base
         self.spike_probability = spike_probability
         self.spike_factor = spike_factor
-        self._rng = make_rng(seed)
+        # Dedicated derived stream: a shared literal seed (0) would make
+        # every FlakyModel in a run draw the *same* spike sequence, and
+        # collide with any other component seeded 0.
+        self._rng = make_rng(derive_seed(0 if seed is None else seed, "server.flaky"))
         self.spikes_injected = 0
 
     def service_time(self, request: Request) -> float:

@@ -4,16 +4,40 @@ The driver sits between arriving requests and a server.  It owns a
 scheduler (which may internally classify requests into ``Q1``/``Q2``),
 dispatches whenever the server is idle, and collects per-class response
 time statistics — the raw material of Figures 4-6.
+
+Fault tolerance
+---------------
+The driver is also where the resilience plane (:mod:`repro.faults`)
+plugs in.  When the server is crash-capable (a
+:class:`~repro.faults.server.FaultableServer` or a fault-aware farm),
+the driver wires its ``on_requeue`` / ``on_loss`` / ``on_recovery``
+hooks; when a :class:`~repro.faults.retry.RetryPolicy` is given, every
+dispatch is guarded by a per-class timeout, and timed-out or
+crash-requeued requests are retried with bounded, backed-off attempts —
+demoted ``Q1 → Q2`` first, so a retry can never evict a fresh
+guaranteed request.  Every arrival ends in exactly one of three ledgers
+(``completed``, ``dropped``, ``shed``), which is the conservation
+invariant the chaos harness asserts.
+
+With no retry policy and a plain server, none of the fault paths are
+armed and behavior is identical to the pre-fault-plane driver.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.request import QoSClass, Request
 from ..obs.registry import NULL_REGISTRY, MetricsRegistry
 from ..sim.engine import Simulator
+from ..sim.events import PRIORITY_MONITOR
 from ..sim.stats import RateRecorder, ResponseTimeCollector
 from ..sched.base import Scheduler
 from .base import Server
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> server)
+    from ..faults.retry import RetryPolicy
+    from ..sched.classifier import OnlineRTTClassifier
 
 
 class DeviceDriver:
@@ -36,6 +60,16 @@ class DeviceDriver:
     metrics_prefix:
         Metric name prefix — override when several drivers share one
         registry (the split topology uses ``q1.driver`` / ``q2.driver``).
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` arming dispatch
+        timeouts and bounded retries.  ``None`` (default) disables every
+        timeout/retry path.
+    classifier:
+        The :class:`~repro.sched.classifier.OnlineRTTClassifier` whose
+        ``Q1`` slot a demoted request must release.  Defaults to the
+        scheduler's own ``classifier`` attribute when present (the
+        single-server policies); :class:`~repro.server.cluster.
+        SplitSystem` passes its front-end classifier explicitly.
     """
 
     def __init__(
@@ -46,6 +80,8 @@ class DeviceDriver:
         record_rates: float | None = None,
         metrics: MetricsRegistry | None = None,
         metrics_prefix: str = "driver",
+        retry: "RetryPolicy | None" = None,
+        classifier: "OnlineRTTClassifier | None" = None,
     ):
         self.sim = sim
         self.server = server
@@ -69,6 +105,39 @@ class DeviceDriver:
         self._m_completions = self.metrics.counter(f"{metrics_prefix}.completions")
         self._m_misses = self.metrics.counter(f"{metrics_prefix}.deadline_misses")
 
+        # ---- resilience plane (all dormant when retry is None and the
+        # ---- server has no fault hooks) --------------------------------
+        self.retry = retry
+        self.classifier = (
+            classifier
+            if classifier is not None
+            else getattr(scheduler, "classifier", None)
+        )
+        #: Requests that exhausted their retry budget or were lost in a
+        #: crash — they will never complete.
+        self.dropped: list[Request] = []
+        #: Requests shed from the overflow queue by the adaptive
+        #: controller — they will never complete.
+        self.shed: list[Request] = []
+        #: Always-on primary-class tallies (the adaptive controller's
+        #: inputs; two branch checks per completion).
+        self.q1_completed = 0
+        self.q1_missed = 0
+        self.demotions = 0
+        self._timeouts: dict[int, object] = {}
+        self._m_requeued = self.metrics.counter(f"faults.{metrics_prefix}.requeued")
+        self._m_retries = self.metrics.counter(f"faults.{metrics_prefix}.retries")
+        self._m_dropped = self.metrics.counter(f"faults.{metrics_prefix}.dropped")
+        self._m_shed = self.metrics.counter(f"faults.{metrics_prefix}.shed")
+        self._m_demotions = self.metrics.counter(f"faults.{metrics_prefix}.demotions")
+        self._m_timeouts = self.metrics.counter(f"faults.{metrics_prefix}.timeouts")
+        if hasattr(server, "on_requeue"):
+            server.on_requeue = self._on_server_requeue
+        if hasattr(server, "on_loss"):
+            server.on_loss = self._on_server_loss
+        if hasattr(server, "on_recovery"):
+            server.on_recovery = self._try_dispatch
+
     def on_arrival(self, request: Request) -> None:
         """Entry point for workload sources."""
         self._m_arrivals.inc()
@@ -84,13 +153,21 @@ class DeviceDriver:
                 return
             self._m_dispatches.inc()
             self.server.dispatch(request)
+            if self.retry is not None:
+                self._arm_timeout(request)
 
     def _on_completion(self, request: Request) -> None:
+        if self.retry is not None:
+            self._disarm_timeout(request)
         self.scheduler.on_completion(request)
         self.completed.append(request)
         rt = request.response_time
         self.by_class[request.qos_class].add(rt)
         self.overall.add(rt)
+        if request.qos_class is QoSClass.PRIMARY:
+            self.q1_completed += 1
+            if not request.met_deadline:
+                self.q1_missed += 1
         if self._observed:
             self._m_completions.inc()
             if request.qos_class is QoSClass.PRIMARY and not request.met_deadline:
@@ -98,6 +175,101 @@ class DeviceDriver:
         if self.completion_rates is not None:
             self.completion_rates.record(self.sim.now)
         self._try_dispatch()
+
+    # ------------------------------------------------------------------
+    # Fault plane: timeouts, retries, crash requeues, shedding
+    # ------------------------------------------------------------------
+
+    def _arm_timeout(self, request: Request) -> None:
+        timeout = self.retry.timeout_for(request)
+        if timeout is None:
+            return
+        self._timeouts[id(request)] = self.sim.schedule_after(
+            timeout,
+            lambda: self._on_timeout(request),
+            priority=PRIORITY_MONITOR,
+        )
+
+    def _disarm_timeout(self, request: Request) -> None:
+        event = self._timeouts.pop(id(request), None)
+        if event is not None:
+            event.cancel()
+
+    def _on_timeout(self, request: Request) -> None:
+        """The per-class dispatch timeout expired with service unfinished."""
+        self._timeouts.pop(id(request), None)
+        abort = getattr(self.server, "abort", None)
+        if abort is None or not abort(request):
+            # Not in flight here any more (completed at this same instant,
+            # or crash-requeued already) — nothing to retry.
+            return
+        self._m_timeouts.inc()
+        self._retry_request(request)
+        self._try_dispatch()
+
+    def _on_server_requeue(self, request: Request) -> None:
+        """A crash interrupted ``request`` mid-service; retry it."""
+        self._disarm_timeout(request)
+        self._m_requeued.inc()
+        self._retry_request(request)
+
+    def _on_server_loss(self, request: Request) -> None:
+        """A crash destroyed ``request`` mid-service; account the loss."""
+        self._disarm_timeout(request)
+        self._release_slot(request)
+        self.dropped.append(request)
+        self._m_dropped.inc()
+
+    def _release_slot(self, request: Request) -> None:
+        """Free the classifier's ``Q1`` slot held by ``request``, if any."""
+        if request.qos_class is QoSClass.PRIMARY and self.classifier is not None:
+            self.classifier.on_completion(request)
+
+    def _retry_request(self, request: Request) -> None:
+        """Demote, back off, and re-enqueue — or drop when out of budget."""
+        request.retries += 1
+        if request.qos_class is QoSClass.PRIMARY:
+            # Q1 -> Q2 demotion: release the admission slot *before*
+            # re-entry so a retried request can never evict a fresh
+            # guaranteed one, then forget the (already blown) deadline.
+            self._release_slot(request)
+            request.classify(QoSClass.OVERFLOW)
+            self.demotions += 1
+            self._m_demotions.inc()
+        policy = self.retry
+        if policy is not None and request.retries > policy.max_retries:
+            self.dropped.append(request)
+            self._m_dropped.inc()
+            return
+        self._m_retries.inc()
+        delay = policy.backoff_delay(request.retries) if policy is not None else 0.0
+        if delay > 0:
+            self.sim.schedule_after(
+                delay,
+                lambda: self._requeue_now(request),
+                priority=PRIORITY_MONITOR,
+            )
+        else:
+            self._requeue_now(request)
+
+    def _requeue_now(self, request: Request) -> None:
+        self.scheduler.on_requeue(request)
+        self._try_dispatch()
+
+    def record_shed(self, requests: list[Request]) -> None:
+        """Account overflow requests shed by the adaptive controller."""
+        for request in requests:
+            self._release_slot(request)
+            self.shed.append(request)
+            self._m_shed.inc()
+
+    def fault_ledger(self) -> dict[str, int]:
+        """Conservation buckets owned by this driver."""
+        return {
+            "completed": len(self.completed),
+            "dropped": len(self.dropped),
+            "shed": len(self.shed),
+        }
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -29,6 +29,22 @@ class ServerFarm:
     Implements the same ``busy`` / ``dispatch`` / ``on_completion``
     surface as :class:`Server`, so :class:`~repro.server.driver.
     DeviceDriver` drives it unchanged: ``busy`` means *no idle unit*.
+
+    Failover is structural: a crashed :class:`~repro.faults.server.
+    FaultableServer` unit reports ``busy`` while down, so dispatch
+    naturally flows to the surviving units, and unit-level fault hooks
+    (``on_requeue`` / ``on_loss`` / ``on_recovery``) are re-raised at
+    the farm level for the driver to wire.
+
+    Parameters
+    ----------
+    sim, models, name:
+        Engine, one service-time model per unit, and a label.
+    unit_factory:
+        Constructor for each unit, ``(sim, model, name=...) -> Server``;
+        defaults to :class:`Server`.  Pass
+        :class:`~repro.faults.server.FaultableServer` (or a partial of
+        it) to build a crash-capable farm.
     """
 
     def __init__(
@@ -36,31 +52,55 @@ class ServerFarm:
         sim: Simulator,
         models: list[ServiceTimeModel],
         name: str = "farm",
+        unit_factory: Callable[..., Server] | None = None,
     ):
         if not models:
             raise ConfigurationError("a farm needs at least one unit")
         self.sim = sim
         self.name = name
         self.on_completion: Callable[[Request], None] | None = None
+        factory = unit_factory if unit_factory is not None else Server
         self._units = [
-            Server(sim, model, name=f"{name}[{i}]")
+            factory(sim, model, name=f"{name}[{i}]")
             for i, model in enumerate(models)
         ]
+        self._faultable = [u for u in self._units if hasattr(u, "on_requeue")]
         for unit in self._units:
             unit.on_completion = self._unit_completed
+        # Farm-level fault hooks, present only when some unit can fault —
+        # the driver wires them by the same hasattr probe it uses for a
+        # single FaultableServer.
+        if self._faultable:
+            self.on_requeue: Callable[[Request], None] | None = None
+            self.on_loss: Callable[[Request], None] | None = None
+            self.on_recovery: Callable[[], None] | None = None
+            for unit in self._faultable:
+                unit.on_requeue = self._unit_requeued
+                unit.on_loss = self._unit_lost
+                unit.on_recovery = self._unit_recovered
 
     @property
     def size(self) -> int:
         return len(self._units)
 
     @property
+    def units(self) -> list[Server]:
+        """The underlying units (fault injectors target these)."""
+        return list(self._units)
+
+    @property
     def busy(self) -> bool:
-        """True iff every unit is serving a request."""
+        """True iff every unit is serving a request (or down)."""
         return all(unit.busy for unit in self._units)
 
     @property
     def in_service(self) -> int:
         return sum(1 for unit in self._units if unit.busy)
+
+    @property
+    def available(self) -> int:
+        """Units currently up (equal to ``size`` for plain farms)."""
+        return sum(1 for u in self._units if not getattr(u, "down", False))
 
     @property
     def completed(self) -> int:
@@ -74,9 +114,28 @@ class ServerFarm:
                 return
         raise SchedulerError(f"{self.name}: dispatch with all units busy")
 
+    def abort(self, request: Request) -> bool:
+        """Abort ``request`` on whichever crash-capable unit serves it."""
+        for unit in self._faultable:
+            if unit.current is request:
+                return unit.abort(request)
+        return False
+
     def _unit_completed(self, request: Request) -> None:
         if self.on_completion is not None:
             self.on_completion(request)
+
+    def _unit_requeued(self, request: Request) -> None:
+        if self.on_requeue is not None:
+            self.on_requeue(request)
+
+    def _unit_lost(self, request: Request) -> None:
+        if self.on_loss is not None:
+            self.on_loss(request)
+
+    def _unit_recovered(self) -> None:
+        if self.on_recovery is not None:
+            self.on_recovery()
 
     def utilization(self, horizon: float | None = None) -> float:
         """Mean per-unit utilization."""

@@ -14,7 +14,7 @@ from repro.experiments import (
     figure8,
     table1,
 )
-from repro.experiments import extensions, sensitivity
+from repro.experiments import extensions, resilience, sensitivity
 from repro.experiments.runner import ORDER, main
 
 #: Small scale: fast but still structurally meaningful.
@@ -285,6 +285,37 @@ class TestSensitivity:
 
     def test_render(self, result):
         assert "Sensitivity" in sensitivity.render(result)
+
+
+class TestResilience:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return resilience.run(config)
+
+    def test_all_policies_compared(self, result):
+        assert [c.policy for c in result.cells] == list(
+            resilience.RESILIENCE_POLICIES
+        )
+
+    def test_conservation_counts(self, result):
+        """Every cell's terminal states sum to the injected workload."""
+        n = len(CONFIG.workload(resilience.WORKLOAD))
+        for cell in result.cells:
+            assert cell.completed + cell.dropped + cell.shed == n
+
+    def test_classifying_policies_restore(self, result):
+        for cell in result.cells:
+            if cell.policy == "fcfs":
+                continue
+            assert cell.restored, (
+                f"{cell.policy}: post-fault {cell.post_fault_q1:.3f} vs "
+                f"healthy {cell.healthy_q1:.3f}"
+            )
+            assert cell.degrades is not None
+
+    def test_render(self, result):
+        text = resilience.render(result)
+        assert "Resilience" in text and "restored" in text
 
 
 class TestWorkloadOverrides:

@@ -1,0 +1,176 @@
+"""Timeout-and-retry driver path: demotion, backoff, budget, ledgers."""
+
+import pytest
+
+from repro.core.request import QoSClass, Request
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+from repro.faults import FaultableServer, RetryPolicy
+from repro.sched.registry import make_scheduler
+from repro.server.constant_rate import ConstantRateModel
+from repro.server.driver import DeviceDriver
+from repro.sim.engine import Simulator
+from repro.sim.source import WorkloadSource
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_q1=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_timeout_per_class(self):
+        policy = RetryPolicy(timeout_q1=1.0, timeout_q2=4.0)
+        primary = Request(arrival=0.0)
+        primary.classify(QoSClass.PRIMARY, delta=0.2)
+        overflow = Request(arrival=0.0)
+        overflow.classify(QoSClass.OVERFLOW)
+        unclassified = Request(arrival=0.0)
+        assert policy.timeout_for(primary) == 1.0
+        assert policy.timeout_for(overflow) == 4.0
+        assert policy.timeout_for(unclassified) == 4.0
+
+    def test_backoff_exponential(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+        assert policy.backoff_delay(1) == pytest.approx(0.1)
+        assert policy.backoff_delay(2) == pytest.approx(0.2)
+        assert policy.backoff_delay(3) == pytest.approx(0.4)
+        with pytest.raises(ConfigurationError):
+            policy.backoff_delay(0)
+
+    def test_none_disables(self):
+        policy = RetryPolicy()
+        assert policy.timeout_for(Request(arrival=0.0)) is None
+
+
+def _stack(policy="miser", rate=10.0, retry=None, inflight="requeue"):
+    sim = Simulator()
+    scheduler = make_scheduler(policy, 8.0, 2.0, 0.5)
+    server = FaultableServer(
+        sim, ConstantRateModel(rate), name="srv", inflight=inflight
+    )
+    driver = DeviceDriver(sim, server, scheduler, retry=retry)
+    return sim, server, driver
+
+
+class TestDriverTimeouts:
+    def test_timeout_aborts_and_retries(self):
+        """A served-too-slowly request is aborted, demoted, retried, and
+        completes on the second attempt."""
+        sim, server, driver = _stack(
+            rate=0.5,  # 2 s service vs 1 s Q1 timeout
+            retry=RetryPolicy(timeout_q1=1.0, timeout_q2=None),
+        )
+        request = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        # Speed the server back up after the first attempt times out so
+        # the retry (now Q2, no timeout) can finish.
+        sim.schedule(1.5, lambda: setattr(server.model, "rate", 10.0))
+        sim.run()
+        assert driver.completed == [request]
+        assert request.retries == 1
+        assert request.qos_class is QoSClass.OVERFLOW  # demoted
+        assert driver.demotions == 1
+        assert server.aborts == 1
+
+    def test_completion_disarms_timeout(self):
+        """A request finishing before its timeout is never retried."""
+        sim, server, driver = _stack(
+            rate=10.0, retry=RetryPolicy(timeout_q1=1.0, timeout_q2=1.0)
+        )
+        request = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        sim.run()
+        assert driver.completed == [request]
+        assert request.retries == 0
+        assert server.aborts == 0
+
+    def test_budget_exhaustion_drops(self):
+        """A permanently slow server burns the whole retry budget, then
+        the request lands in the dropped ledger exactly once."""
+        sim, server, driver = _stack(
+            rate=0.01,  # 100 s service: every attempt times out
+            retry=RetryPolicy(
+                timeout_q1=0.5, timeout_q2=0.5, max_retries=2, backoff_base=0.1
+            ),
+        )
+        request = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        sim.run(until=100.0)
+        assert driver.completed == []
+        assert driver.dropped == [request]
+        assert request.retries == 3  # initial demotion retry + 2 more
+        assert driver.fault_ledger() == {"completed": 0, "dropped": 1, "shed": 0}
+
+    def test_demotion_frees_q1_slot(self):
+        """The admission slot released by a demoted request is available
+        to a fresh arrival immediately."""
+        sim, server, driver = _stack(
+            rate=0.5, retry=RetryPolicy(timeout_q1=1.0)
+        )
+        classifier = driver.classifier
+        first = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(first))
+        occupancy = []
+        sim.schedule(1.5, lambda: occupancy.append(classifier.len_q1))
+        sim.schedule(1.5, lambda: setattr(server.model, "rate", 10.0))
+        sim.run()
+        # After the timeout fired (t=1.0) the demoted request no longer
+        # holds a Q1 slot.
+        assert occupancy == [0]
+
+    def test_no_retry_means_no_timeouts(self):
+        """retry=None arms nothing: not even the timeout dict is used."""
+        sim, server, driver = _stack(rate=0.5, retry=None)
+        request = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        sim.run()
+        assert driver.completed == [request]
+        assert driver._timeouts == {}
+        assert request.retries == 0
+
+
+class TestCrashIntegration:
+    def test_crash_requeue_completes_after_recovery(self):
+        sim, server, driver = _stack(rate=1.0, retry=RetryPolicy())
+        request = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        sim.schedule(0.5, server.crash)
+        sim.schedule(2.0, server.recover)
+        sim.run()
+        assert driver.completed == [request]
+        assert request.retries == 1
+        assert request.qos_class is QoSClass.OVERFLOW
+        # Completed strictly after the repair.
+        assert request.completion > 2.0
+
+    def test_crash_drop_lands_in_ledger(self):
+        sim, server, driver = _stack(
+            rate=1.0, retry=RetryPolicy(), inflight="drop"
+        )
+        request = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        sim.schedule(0.5, server.crash)
+        sim.schedule(2.0, server.recover)
+        sim.run()
+        assert driver.completed == []
+        assert driver.dropped == [request]
+        assert driver.classifier.len_q1 == 0  # slot released on loss
+
+    def test_backlog_drains_on_recovery(self):
+        """Arrivals during an outage queue up and all complete after the
+        repair, oldest first."""
+        sim, server, driver = _stack(rate=10.0, retry=RetryPolicy())
+        workload = Workload([0.0, 0.5, 0.6, 0.7, 0.8], name="outage")
+        sim.schedule(0.3, server.crash)
+        sim.schedule(1.0, server.recover)
+        source = WorkloadSource(sim, workload, driver)
+        source.start()
+        sim.run()
+        assert len(driver.completed) == 5
+        assert driver.dropped == []

@@ -1,0 +1,127 @@
+"""Fault schedule validation, ordering, and seeded generation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    Crash,
+    FaultSchedule,
+    RateDroop,
+    SpikeStorm,
+    random_schedule,
+)
+
+
+class TestEventValidation:
+    def test_crash(self):
+        crash = Crash(start=1.0, duration=2.0, unit=1)
+        assert crash.end == 3.0
+        with pytest.raises(ConfigurationError):
+            Crash(start=-1.0, duration=2.0)
+        with pytest.raises(ConfigurationError):
+            Crash(start=1.0, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            Crash(start=1.0, duration=1.0, unit=-1)
+
+    def test_droop(self):
+        with pytest.raises(ConfigurationError):
+            RateDroop(start=2.0, end=1.0, factor=2.0)
+        with pytest.raises(ConfigurationError):
+            RateDroop(start=1.0, end=2.0, factor=1.0)
+        with pytest.raises(ConfigurationError):
+            RateDroop(start=-0.5, end=2.0, factor=2.0)
+
+    def test_storm(self):
+        with pytest.raises(ConfigurationError):
+            SpikeStorm(start=1.0, end=2.0, probability=0.0, factor=3.0)
+        with pytest.raises(ConfigurationError):
+            SpikeStorm(start=1.0, end=2.0, probability=1.5, factor=3.0)
+        with pytest.raises(ConfigurationError):
+            SpikeStorm(start=1.0, end=2.0, probability=0.5, factor=0.9)
+
+
+class TestFaultSchedule:
+    def test_sorts_and_partitions(self):
+        schedule = FaultSchedule([
+            SpikeStorm(5.0, 6.0, 0.2, 3.0),
+            Crash(3.0, 1.0),
+            RateDroop(1.0, 2.0, 2.0),
+            Crash(0.0, 1.0, unit=1),
+        ])
+        assert len(schedule) == 4
+        assert schedule
+        assert [c.start for c in schedule.crashes] == [3.0, 0.0]  # by unit, start
+        assert schedule.last_clear == 6.0
+        assert "crash" in schedule.describe()
+
+    def test_empty(self):
+        schedule = FaultSchedule()
+        assert not schedule
+        assert schedule.last_clear == 0.0
+        assert schedule.describe() == "no faults"
+
+    def test_same_unit_crash_overlap_rejected(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            FaultSchedule([Crash(0.0, 2.0), Crash(1.0, 2.0)])
+
+    def test_different_unit_crashes_may_overlap(self):
+        schedule = FaultSchedule([Crash(0.0, 2.0, unit=0), Crash(1.0, 2.0, unit=1)])
+        assert len(schedule.crashes) == 2
+
+    def test_droop_overlap_rejected(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            FaultSchedule([RateDroop(0.0, 2.0, 2.0), RateDroop(1.0, 3.0, 3.0)])
+
+    def test_kinds_may_overlap_each_other(self):
+        schedule = FaultSchedule([
+            Crash(0.0, 2.0),
+            RateDroop(0.5, 1.5, 2.0),
+            SpikeStorm(0.5, 1.5, 0.2, 2.0),
+        ])
+        assert len(schedule) == 3
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            FaultSchedule(["crash at noon"])
+
+
+class TestRandomSchedule:
+    def test_reproducible(self):
+        a = random_schedule(42, horizon=100.0, crashes=2, droops=2, storms=2)
+        b = random_schedule(42, horizon=100.0, crashes=2, droops=2, storms=2)
+        assert a.events == b.events
+        assert len(a) == 6
+
+    def test_seed_changes_schedule(self):
+        a = random_schedule(1, horizon=100.0)
+        b = random_schedule(2, horizon=100.0)
+        assert a.events != b.events
+
+    def test_per_kind_streams_independent(self):
+        """Adding storms must not move the crash windows."""
+        few = random_schedule(7, horizon=100.0, crashes=2, storms=0, droops=0)
+        many = random_schedule(7, horizon=100.0, crashes=2, storms=3, droops=3)
+        assert few.crashes == many.crashes
+
+    def test_windows_inside_measurement_span(self):
+        for seed in range(10):
+            schedule = random_schedule(
+                seed, horizon=100.0, crashes=3, droops=3, storms=3, units=2
+            )
+            for event in schedule.events:
+                assert event.start >= 10.0  # after warm-up
+                end = event.end if isinstance(event, Crash) else event.end
+                assert end <= 85.0 + 1e-9  # recovery tail preserved
+            assert all(c.unit in (0, 1) for c in schedule.crashes)
+
+    def test_crash_length_capped(self):
+        for seed in range(10):
+            schedule = random_schedule(seed, horizon=100.0, crashes=3)
+            for crash in schedule.crashes:
+                assert crash.duration <= 15.0 + 1e-9  # max_crash_fraction
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_schedule(0, horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            random_schedule(0, horizon=10.0, units=0)

@@ -23,6 +23,12 @@ class TestBrownout:
         with pytest.raises(ConfigurationError):
             Brownout(start=0.0, end=1.0, factor=1.0)
 
+    def test_negative_start_rejected(self):
+        """The simulation clock starts at 0; a window reaching back
+        before that used to silently inflate degraded_fraction."""
+        with pytest.raises(ConfigurationError, match="t=0"):
+            Brownout(start=-1.0, end=1.0, factor=2.0)
+
     def test_active_window(self):
         b = Brownout(start=1.0, end=2.0, factor=2.0)
         assert not b.active(0.5)
@@ -66,6 +72,20 @@ class TestDegradedModel:
         assert model.degraded_fraction(10.0) == pytest.approx(0.1)
         assert model.degraded_fraction(0.0) == 0.0
 
+    def test_degraded_fraction_clips_to_horizon(self):
+        """A window straddling the horizon counts only its inside part;
+        one entirely beyond it counts nothing."""
+        sim = Simulator()
+        model = DegradedModel(
+            sim,
+            ConstantRateModel(10.0),
+            [Brownout(1.0, 3.0, 2.0), Brownout(5.0, 7.0, 2.0)],
+        )
+        assert model.degraded_fraction(2.0) == pytest.approx(0.5)
+        assert model.degraded_fraction(4.0) == pytest.approx(0.5)
+        assert model.degraded_fraction(6.0) == pytest.approx(0.5)
+        assert model.degraded_fraction(10.0) == pytest.approx(0.4)
+
 
 class TestFlakyModel:
     def test_validation(self):
@@ -88,6 +108,21 @@ class TestFlakyModel:
         assert all(
             model.service_time(request) == pytest.approx(0.1) for _ in range(100)
         )
+
+    def test_seed_reproducibility(self):
+        """Same seed -> same spike sequence; different seeds -> different
+        (the old shared-literal seeding collapsed every model onto one
+        stream)."""
+        request = Request(arrival=0.0)
+
+        def draws(seed):
+            model = FlakyModel(ConstantRateModel(10.0), 0.3, 10.0, seed=seed)
+            return [model.service_time(request) for _ in range(200)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+        # None is an alias for the default deterministic stream.
+        assert draws(None) == draws(0)
 
 
 class TestShapingUnderBrownout:

@@ -1,0 +1,120 @@
+"""Every recombination policy against degraded and flaky servers.
+
+The shaping guarantees are proved for a healthy constant-rate server;
+these tests check the *mechanisms* stay sound when the substrate
+under-delivers: every policy still serves every request (work
+conservation), per-class accounting still balances, and Miser's slack
+bookkeeping stays consistent while a brownout inflates service times
+mid-run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.request import QoSClass
+from repro.core.slack import is_unconstrained
+from repro.core.workload import Workload
+from repro.sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
+from repro.server.base import Server
+from repro.server.constant_rate import ConstantRateModel
+from repro.server.degraded import Brownout, DegradedModel, FlakyModel
+from repro.server.driver import DeviceDriver
+from repro.sim.engine import Simulator
+from repro.sim.source import WorkloadSource
+
+CMIN, DELTA_C, DELTA = 50.0, 10.0, 0.2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    gen = np.random.default_rng(11)
+    return Workload(np.sort(gen.uniform(0.0, 20.0, 800)), name="steady")
+
+
+def _run(workload, policy, model_factory):
+    sim = Simulator()
+    scheduler = make_scheduler(policy, CMIN, DELTA_C, DELTA)
+    server = Server(sim, model_factory(sim), name=policy)
+    driver = DeviceDriver(sim, server, scheduler)
+    source = WorkloadSource(sim, workload, driver)
+    source.start()
+    sim.run()
+    return driver, source
+
+
+def _degraded(sim):
+    return DegradedModel(
+        sim, ConstantRateModel(CMIN + DELTA_C), [Brownout(6.0, 9.0, 3.0)]
+    )
+
+
+def _flaky(sim):
+    return FlakyModel(ConstantRateModel(CMIN + DELTA_C), 0.05, 8.0, seed=3)
+
+
+@pytest.mark.parametrize("policy", SINGLE_SERVER_POLICIES)
+@pytest.mark.parametrize("model_factory", [_degraded, _flaky], ids=["brownout", "flaky"])
+class TestPoliciesUnderDegradation:
+    def test_work_conserving(self, workload, policy, model_factory):
+        """Degradation slows service but loses nothing."""
+        driver, source = _run(workload, policy, model_factory)
+        assert len(driver.completed) == len(workload)
+        assert {id(r) for r in driver.completed} == {
+            id(r) for r in source.requests
+        }
+
+    def test_class_accounting_balances(self, workload, policy, model_factory):
+        """Per-class collectors partition the completions exactly."""
+        driver, _ = _run(workload, policy, model_factory)
+        by_class = sum(len(c) for c in driver.by_class.values())
+        assert by_class == len(driver.overall) == len(workload)
+        if policy != "fcfs":
+            # Classifying policies put every request in Q1 or Q2.
+            assert len(driver.by_class[QoSClass.UNCLASSIFIED]) == 0
+
+    def test_admission_bound_respected(self, workload, policy, model_factory):
+        """Degradation never lets Q1 admissions exceed the C·delta bound."""
+        driver, _ = _run(workload, policy, model_factory)
+        classifier = driver.classifier
+        if classifier is None:
+            pytest.skip("fcfs does not classify")
+        assert classifier.len_q1 == 0  # all slots released at the end
+        primary = len(driver.by_class[QoSClass.PRIMARY])
+        assert primary > 0
+
+
+class TestMiserSlackUnderInflation:
+    def test_slack_consistency_mid_brownout(self, workload):
+        """Sampled mid-run while a 3x brownout is active, Miser's minimum
+        slack stays a consistent non-negative count of deferrable
+        dispatches, and ends unconstrained (empty Q1)."""
+        sim = Simulator()
+        scheduler = make_scheduler("miser", CMIN, DELTA_C, DELTA)
+        server = Server(sim, _degraded(sim), name="miser")
+        driver = DeviceDriver(sim, server, scheduler)
+        observed: list[int] = []
+
+        def probe():
+            slack = scheduler.min_slack
+            if not is_unconstrained(slack):
+                observed.append(slack)
+
+        sim.every(0.05, probe, until=20.0)
+        WorkloadSource(sim, workload, driver).start()
+        sim.run()
+        assert len(driver.completed) == len(workload)
+        # Slack is a queue-position count: whenever Q1 was non-empty the
+        # tracked minimum must be a sane machine-size integer >= 0.
+        assert all(0 <= s < 10**6 for s in observed)
+        assert is_unconstrained(scheduler.min_slack)
+
+    def test_slack_dispatches_still_safe(self, workload):
+        """Every slack dispatch (Q2 served ahead of queued Q1) during the
+        brownout must still leave all Q1 requests completing."""
+        driver, _ = _run(workload, "miser", _degraded)
+        scheduler = driver.scheduler
+        assert scheduler.slack_dispatches >= 0
+        primary = driver.by_class[QoSClass.PRIMARY]
+        assert len(primary) + len(driver.by_class[QoSClass.OVERFLOW]) == len(
+            driver.completed
+        )

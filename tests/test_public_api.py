@@ -72,9 +72,18 @@ PUBLIC_API = {
     ],
     "repro.experiments": [
         "table1", "figure2", "figure3", "figure4", "figure5", "figure6",
-        "figure7", "figure8", "extensions", "sensitivity",
+        "figure7", "figure8", "extensions", "sensitivity", "resilience",
         "ExperimentConfig", "EXPERIMENTS", "run_experiment",
         "PAPER_DELTAS", "PAPER_FRACTIONS", "PAPER_WORKLOADS",
+    ],
+    "repro.faults": [
+        "Crash", "RateDroop", "SpikeStorm", "FaultSchedule",
+        "random_schedule", "FaultableServer", "INFLIGHT_POLICIES",
+        "FaultInjector", "FaultState", "FaultyModel", "RetryPolicy",
+        "AdaptiveShaper", "ControllerConfig", "ConservationReport",
+        "check_conservation", "assert_conservation",
+        "ResilientRunResult", "run_resilient", "run_chaos",
+        "RESILIENCE_POLICIES",
     ],
 }
 
