@@ -1,0 +1,228 @@
+"""Live scheduler invariants: a checking proxy that audits every dispatch.
+
+:class:`CheckingScheduler` wraps any :class:`repro.sched.base.Scheduler`
+and forwards the driver's calls unchanged while auditing the invariant
+catalog below.  Violations are *recorded*, not raised, so one run can
+report every breakage at once; the differential harness
+(:mod:`repro.check.differential`) turns a non-empty record into a
+failure.
+
+Invariant catalog
+-----------------
+``work-conservation``
+    ``select`` may return ``None`` only when nothing is pending — an
+    idle server with a backlogged queue is a lost service slot.
+``classifier-bound``
+    The online classifier's ``Q1`` occupancy stays within
+    ``[0, limit]`` at all times (Algorithm 1's ``maxQ1`` bound).
+``fcfs-order``
+    FCFS dispatches strictly in arrival order (by source sequence).
+``fair-virtual-time``
+    The fair queue's system virtual time never decreases (SFQ/WF²Q+
+    tag algebra; a backwards jump re-opens spent service credit).
+``miser-slack``
+    Miser serves overflow ahead of queued primaries only when every
+    queued primary can spare a slot (``min_slack >= 1`` at the
+    decision), and the minimum slack never goes negative (Algorithm 2's
+    safety condition).
+``edf-order``
+    EDF dispatches primaries in non-decreasing deadline order, and
+    serves overflow ahead of queued primaries only when the clock-based
+    safety test passes.
+``dispatch-before-completion``
+    Every completion was previously dispatched, exactly once.
+
+The checks reach into scheduler internals (``_queue._virtual``,
+``_tracker``) by design — this module is the white-box auditor for the
+black-box differential harness, and the private coupling is pinned down
+by the tests in ``tests/check/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.request import QoSClass, Request
+from ..sched.base import Scheduler
+from ..sched.edf import EDFScheduler
+from ..sched.fair import FairQueueScheduler
+from ..sched.fcfs import FCFSScheduler
+from ..sched.miser import MiserScheduler
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded invariant breach."""
+
+    invariant: str
+    policy: str
+    detail: str
+    time: float
+
+    def __str__(self) -> str:
+        return f"[{self.policy} @ t={self.time:g}] {self.invariant}: {self.detail}"
+
+
+class CheckingScheduler(Scheduler):
+    """Transparent auditing proxy around a concrete scheduler.
+
+    Behaviorally identical to the wrapped scheduler (all decisions are
+    delegated); every interaction is checked against the invariant
+    catalog and breaches are appended to :attr:`violations`.
+    """
+
+    def __init__(self, inner: Scheduler):
+        self.inner = inner
+        self.name = inner.name
+        self.violations: list[Violation] = []
+        self._arrival_seq = 0
+        self._dispatch_seq: dict[int, int] = {}  # id(request) -> arrival seq
+        self._dispatched: set[int] = set()
+        self._last_fcfs_seq = -1
+        self._last_virtual = float("-inf")
+        self._last_q1_deadline = float("-inf")
+        self._now = 0.0
+
+    # The driver probes optional attributes (``classifier``) and the
+    # sampler probes ``min_slack``-style telemetry: forward everything
+    # we do not intercept.
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    def _flag(self, invariant: str, detail: str) -> None:
+        self.violations.append(
+            Violation(invariant=invariant, policy=self.name, detail=detail, time=self._now)
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduler interface
+    # ------------------------------------------------------------------
+
+    def on_arrival(self, request: Request) -> None:
+        self._dispatch_seq[id(request)] = self._arrival_seq
+        self._arrival_seq += 1
+        self.inner.on_arrival(request)
+        self._check_classifier()
+
+    def select(self, now: float) -> Request | None:
+        self._now = now
+        pending_before = self.inner.pending()
+        inner = self.inner
+        # Snapshot decision inputs *before* the inner scheduler mutates
+        # its state.
+        miser_slack = None
+        q1_backlog = 0
+        edf_safe = None
+        if isinstance(inner, MiserScheduler):
+            miser_slack = inner.min_slack
+            q1_backlog = inner.class_backlog()["q1"]
+        elif isinstance(inner, EDFScheduler):
+            q1_backlog = inner.class_backlog()["q1"]
+            edf_safe = inner._overflow_is_safe(now)
+
+        request = inner.select(now)
+
+        if request is None:
+            if pending_before > 0:
+                self._flag(
+                    "work-conservation",
+                    f"select() returned None with {pending_before} pending",
+                )
+            return None
+
+        key = id(request)
+        if key in self._dispatched:
+            self._flag("dispatch-before-completion", "request dispatched twice")
+        self._dispatched.add(key)
+
+        if isinstance(inner, FCFSScheduler):
+            seq = self._dispatch_seq.get(key, -1)
+            if seq <= self._last_fcfs_seq:
+                self._flag(
+                    "fcfs-order",
+                    f"arrival #{seq} dispatched after #{self._last_fcfs_seq}",
+                )
+            self._last_fcfs_seq = seq
+        elif isinstance(inner, FairQueueScheduler):
+            virtual = inner._queue._virtual
+            if virtual < self._last_virtual - 1e-12:
+                self._flag(
+                    "fair-virtual-time",
+                    f"virtual time moved backwards: {self._last_virtual} -> {virtual}",
+                )
+            self._last_virtual = max(self._last_virtual, virtual)
+        elif isinstance(inner, MiserScheduler):
+            if (
+                request.qos_class is QoSClass.OVERFLOW
+                and q1_backlog > 0
+                and miser_slack is not None
+                and miser_slack < 1
+            ):
+                self._flag(
+                    "miser-slack",
+                    f"overflow served past {q1_backlog} primaries with "
+                    f"min_slack={miser_slack}",
+                )
+            if inner.min_slack < 0:
+                self._flag(
+                    "miser-slack", f"min_slack went negative: {inner.min_slack}"
+                )
+        elif isinstance(inner, EDFScheduler):
+            if request.qos_class is QoSClass.PRIMARY:
+                deadline = request.deadline
+                if deadline < self._last_q1_deadline - 1e-12:
+                    self._flag(
+                        "edf-order",
+                        f"primary deadline {deadline} after {self._last_q1_deadline}",
+                    )
+                self._last_q1_deadline = max(self._last_q1_deadline, deadline)
+            elif q1_backlog > 0 and edf_safe is False:
+                self._flag(
+                    "edf-order",
+                    f"overflow served past {q1_backlog} primaries while unsafe",
+                )
+        return request
+
+    def on_completion(self, request: Request) -> None:
+        key = id(request)
+        if key not in self._dispatched:
+            self._flag(
+                "dispatch-before-completion", "completion without dispatch"
+            )
+        else:
+            self._dispatched.discard(key)
+        self.inner.on_completion(request)
+        self._check_classifier()
+
+    def on_requeue(self, request: Request) -> None:
+        self.inner.on_requeue(request)
+
+    def shed_overflow(self, keep: int = 0) -> list[Request]:
+        return self.inner.shed_overflow(keep)
+
+    def pending(self) -> int:
+        return self.inner.pending()
+
+    def class_backlog(self) -> dict[str, int]:
+        return self.inner.class_backlog()
+
+    # ------------------------------------------------------------------
+
+    def _check_classifier(self) -> None:
+        classifier = getattr(self.inner, "classifier", None)
+        if classifier is None:
+            return
+        if classifier.len_q1 < 0:
+            self._flag(
+                "classifier-bound", f"negative occupancy {classifier.len_q1}"
+            )
+        # ``set_limit`` may shrink the bound below the current occupancy
+        # (degradation drains, it does not evict), so audit against the
+        # largest bound the occupancy could legally have been admitted
+        # under.
+        if classifier.len_q1 > classifier.planned_limit:
+            self._flag(
+                "classifier-bound",
+                f"occupancy {classifier.len_q1} exceeds planned limit "
+                f"{classifier.planned_limit}",
+            )

@@ -1,0 +1,128 @@
+"""Corpus pillar: golden recording, replay, and drift detection."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.corpus import (
+    GOLDEN_POLICIES,
+    load_golden,
+    record_golden,
+    replay_corpus,
+    replay_golden,
+)
+from repro.exceptions import ConfigurationError
+
+CORPUS = Path(__file__).resolve().parents[1] / "corpus"
+
+
+class TestCommittedCorpus:
+    def test_every_generator_has_a_boundary_trace(self):
+        names = {p.stem for p in CORPUS.glob("*.json")}
+        for generator in ("poisson", "onoff", "bmodel", "adversarial"):
+            assert f"{generator}-boundary" in names
+
+    def test_knife_edge_reproducers_present(self):
+        names = {p.stem for p in CORPUS.glob("*.json")}
+        assert "knife-edge-mask-tie" in names
+        assert "knife-edge-oracle-tolerance" in names
+
+    def test_corpus_replays_clean(self):
+        report = replay_corpus(CORPUS)
+        assert report.ok, report.summary()
+        assert report.n_failed == 0
+        assert "OK" in report.summary()
+
+
+class TestRecordAndLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "tiny.json"
+        recorded = record_golden(
+            path,
+            "tiny",
+            [0.0, 0.25, 0.3, 1.5],
+            capacity=4.0,
+            delta=0.5,
+            source={"origin": "unit-test"},
+        )
+        loaded = load_golden(path)
+        assert loaded.name == "tiny"
+        assert loaded.capacity == 4.0
+        assert loaded.delta == 0.5
+        assert loaded.arrivals == recorded.arrivals
+        assert loaded.expect == recorded.expect
+        assert loaded.source == {"origin": "unit-test"}
+        assert loaded.policies == GOLDEN_POLICIES
+        assert replay_golden(loaded).ok
+
+    def test_default_delta_c_is_one_over_delta(self, tmp_path):
+        golden = record_golden(
+            tmp_path / "g.json", "g", [0.0], capacity=2.0, delta=0.5
+        )
+        assert golden.delta_c == 2.0
+
+    def test_missing_key_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        payload = json.loads((CORPUS / "poisson-boundary.json").read_text())
+        del payload["capacity"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="missing required key"):
+            load_golden(path)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            replay_corpus(tmp_path / "nowhere")
+
+
+class TestDriftDetection:
+    @pytest.fixture
+    def tampered(self, tmp_path):
+        def _tamper(mutate):
+            payload = json.loads(
+                (CORPUS / "poisson-boundary.json").read_text()
+            )
+            mutate(payload)
+            path = tmp_path / "tampered.json"
+            path.write_text(json.dumps(payload))
+            return replay_golden(load_golden(path))
+
+        return _tamper
+
+    def test_integer_drift_is_exact(self, tampered):
+        result = tampered(
+            lambda p: p["expect"].update(admitted=p["expect"]["admitted"] + 1)
+        )
+        assert not result.ok
+        assert any("admitted" in m for m in result.mismatches)
+
+    def test_policy_integer_drift_detected(self, tampered):
+        def mutate(payload):
+            stats = payload["expect"]["policies"]["fcfs"]
+            stats["completed"] += 1
+
+        result = tampered(mutate)
+        assert any("fcfs.completed" in m for m in result.mismatches)
+
+    def test_float_drift_beyond_tolerance_detected(self, tampered):
+        def mutate(payload):
+            stats = payload["expect"]["policies"]["fcfs"]
+            stats["mean_response"] += 1e-3
+
+        result = tampered(mutate)
+        assert any("fcfs.mean_response" in m for m in result.mismatches)
+
+    def test_float_noise_within_tolerance_tolerated(self, tampered):
+        def mutate(payload):
+            stats = payload["expect"]["policies"]["fcfs"]
+            stats["mean_response"] += 1e-13
+
+        assert tampered(mutate).ok
+
+    def test_loosened_tolerance_is_honoured(self, tampered):
+        def mutate(payload):
+            payload["float_tolerance"] = 0.5
+            stats = payload["expect"]["policies"]["fcfs"]
+            stats["mean_response"] += 1e-3
+
+        assert tampered(mutate).ok

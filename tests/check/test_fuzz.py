@@ -1,0 +1,112 @@
+"""Fuzz pillar: generators, case derivation, and the ddmin shrinker."""
+
+import numpy as np
+import pytest
+
+from repro.check.fuzz import (
+    CAPACITIES,
+    DELTAS,
+    GENERATORS,
+    FuzzCase,
+    check_case,
+    fuzz_oracle,
+    make_case,
+    shrink_arrivals,
+    shrink_case,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_cases_are_sorted_and_nonnegative(self, generator):
+        case = make_case(generator, 7, 0)
+        arrivals = np.asarray(case.arrivals)
+        assert arrivals.size > 0
+        assert np.all(arrivals >= 0)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert case.capacity in CAPACITIES
+        assert case.delta in DELTAS
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_derivation_is_deterministic(self, generator):
+        first = make_case(generator, 7, 3)
+        second = make_case(generator, 7, 3)
+        assert first == second
+        other_index = make_case(generator, 7, 4)
+        other_seed = make_case(generator, 8, 3)
+        assert first != other_index
+        assert first != other_seed
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_case("markov", 7, 0)
+
+    def test_workload_roundtrip(self):
+        case = make_case("poisson", 7, 0)
+        workload = case.workload()
+        assert len(workload) == len(case.arrivals)
+        np.testing.assert_array_equal(
+            workload.arrivals, np.asarray(case.arrivals)
+        )
+
+
+class TestCheckCase:
+    def test_clean_case_has_no_problems(self):
+        assert check_case(make_case("poisson", 7, 0)) == []
+
+    def test_fuzz_oracle_smoke(self):
+        assert fuzz_oracle(8, seed=7, shrink=False) == []
+
+
+class TestShrinker:
+    def test_requires_initially_failing_trace(self):
+        with pytest.raises(ConfigurationError, match="initially-failing"):
+            shrink_arrivals((1.0, 2.0), lambda arr: False)
+
+    def test_result_still_fails_and_is_one_minimal(self):
+        # Failure: at least three arrivals >= 5 s.
+        def fails(arrivals):
+            return sum(1 for t in arrivals if t >= 5.0) >= 3
+
+        original = tuple(float(t) for t in range(10))
+        shrunk = shrink_arrivals(original, fails)
+        assert fails(shrunk)
+        assert len(shrunk) <= 3
+        # 1-minimality: dropping any single survivor clears the failure.
+        for skip in range(len(shrunk)):
+            candidate = shrunk[:skip] + shrunk[skip + 1:]
+            assert not fails(candidate)
+
+    def test_rebase_pass_moves_trace_to_zero(self):
+        # Shift-invariant failure: two arrivals closer than 1 ms.
+        def fails(arrivals):
+            return any(
+                b - a < 1e-3 for a, b in zip(arrivals, arrivals[1:])
+            )
+
+        shrunk = shrink_arrivals((40.0, 41.0, 41.0004, 45.0), fails)
+        assert fails(shrunk)
+        assert shrunk[0] == 0.0
+        assert len(shrunk) == 2
+
+    def test_shrink_is_deterministic(self):
+        def fails(arrivals):
+            return len(arrivals) >= 4
+
+        original = tuple(float(t) / 10 for t in range(20))
+        assert shrink_arrivals(original, fails) == shrink_arrivals(
+            original, fails
+        )
+
+    def test_shrink_case_preserves_parameters(self):
+        case = make_case("bmodel", 9, 1)
+
+        def fails(candidate: FuzzCase) -> bool:
+            return len(candidate.arrivals) >= 2
+
+        small = shrink_case(case, fails)
+        assert small.capacity == case.capacity
+        assert small.delta == case.delta
+        assert small.generator == case.generator
+        assert len(small.arrivals) == 2

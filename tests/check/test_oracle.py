@@ -1,0 +1,149 @@
+"""Oracle pillar: the exact DP against brute force, fuzz, and knife edges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.fuzz import GENERATORS, fuzz_oracle
+from repro.check.oracle import (
+    MODELS,
+    certify_optimality,
+    oracle_max_admitted,
+    oracle_max_admitted_discrete,
+    oracle_max_admitted_fluid,
+)
+from repro.core.bounds import max_admissible_bruteforce
+from repro.core.workload import Workload
+from repro.exceptions import ConfigurationError
+
+CAPACITIES = [1.0, 2.0, 3.0, 4.0, 5.0, 8.0]
+DELTAS = [0.125, 0.25, 0.5, 1.0, 2.0]
+
+# Millisecond grid over a few seconds, small enough for the O(2^n)
+# brute force to stay instant.
+arrivals_ms = st.lists(
+    st.integers(min_value=0, max_value=3000), min_size=1, max_size=10
+).map(lambda ms: [t / 1000.0 for t in sorted(ms)])
+
+
+class TestAgainstBruteForce:
+    """The polynomial DP must agree with the exponential ground truth."""
+
+    @given(
+        arrivals=arrivals_ms,
+        capacity=st.sampled_from(CAPACITIES),
+        delta=st.sampled_from(DELTAS),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_discrete(self, arrivals, capacity, delta):
+        workload = Workload(np.asarray(arrivals))
+        assert oracle_max_admitted_discrete(
+            arrivals, capacity, delta
+        ) == max_admissible_bruteforce(workload, capacity, delta, discrete=True)
+
+    @given(
+        arrivals=arrivals_ms,
+        capacity=st.sampled_from(CAPACITIES),
+        delta=st.sampled_from(DELTAS),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fluid(self, arrivals, capacity, delta):
+        workload = Workload(np.asarray(arrivals))
+        assert oracle_max_admitted_fluid(
+            arrivals, capacity, delta
+        ) == max_admissible_bruteforce(workload, capacity, delta, discrete=False)
+
+
+class TestFuzzedCertification:
+    """Acceptance: the online rule is optimal on 500+ fuzzed traces."""
+
+    def test_500_traces_across_all_generators(self):
+        # Round-robins the poisson / onoff / bmodel / adversarial
+        # generators, certifying both server models per trace.
+        disagreements = fuzz_oracle(500, seed=2026, shrink=False)
+        assert disagreements == [], [
+            p for d in disagreements for p in d.problems
+        ]
+
+    def test_every_generator_participates(self):
+        assert len(GENERATORS) == 4
+        assert set(GENERATORS) == {"poisson", "onoff", "bmodel", "adversarial"}
+
+
+class TestHandCases:
+    def test_empty_trace(self):
+        assert oracle_max_admitted_discrete([], 2.0, 0.5) == 0
+        assert oracle_max_admitted_fluid([], 2.0, 0.5) == 0
+
+    def test_simultaneous_burst_caps_at_c_delta(self):
+        # Five arrivals at t=0, C=1, delta=2: exactly C*delta = 2 fit.
+        arrivals = [0.0] * 5
+        assert oracle_max_admitted_discrete(arrivals, 1.0, 2.0) == 2
+        assert oracle_max_admitted_fluid(arrivals, 1.0, 2.0) == 2
+
+    def test_sparse_trace_fully_admitted(self):
+        arrivals = [0.0, 10.0, 20.0]
+        assert oracle_max_admitted_discrete(arrivals, 1.0, 2.0) == 3
+
+    def test_fractional_c_delta_deadline_form_is_more_permissive(self):
+        # C=1.5, delta=1: queue bound floor(C*delta)=1 but the deadline
+        # form can sustain more over a busy period.
+        arrivals = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
+        discrete = oracle_max_admitted_discrete(arrivals, 1.5, 1.0)
+        assert discrete >= 3
+
+    @given(arrivals=arrivals_ms, capacity=st.sampled_from(CAPACITIES))
+    @settings(max_examples=40, deadline=None)
+    def test_removing_a_request_never_raises_the_optimum(
+        self, arrivals, capacity
+    ):
+        full = oracle_max_admitted_discrete(arrivals, capacity, 0.5)
+        reduced = oracle_max_admitted_discrete(arrivals[:-1], capacity, 0.5)
+        assert reduced <= full <= reduced + 1
+
+
+class TestTieSemantics:
+    """The oracle certifies under the kernels' documented EPS ties."""
+
+    # Shrunk by the fuzzer: the last admitted request finishes at
+    # exactly t + delta on the decimal grid, which is one ulp past the
+    # deadline in strict rationals over the binary floats.
+    KNIFE = [0.07, 0.077, 0.153, 0.209, 0.215, 0.217, 0.394, 0.399, 0.47]
+
+    def test_strict_and_tolerant_optima_differ_by_the_knife_edge(self):
+        tolerant = oracle_max_admitted_discrete(self.KNIFE, 10.0, 0.5)
+        strict = oracle_max_admitted_discrete(
+            self.KNIFE, 10.0, 0.5, tie_tolerance=0
+        )
+        assert tolerant == 9
+        assert strict == 8
+
+    def test_online_matches_the_tolerant_oracle(self):
+        workload = Workload(np.asarray(self.KNIFE))
+        for model in MODELS:
+            report = certify_optimality(workload, 10.0, 0.5, model)
+            assert report.ok, report.summary()
+
+
+class TestValidation:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown server model"):
+            oracle_max_admitted([0.0], 1.0, 1.0, model="quantum")
+        with pytest.raises(ConfigurationError, match="unknown server model"):
+            certify_optimality(Workload([0.0]), 1.0, 1.0, model="quantum")
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(ConfigurationError, match="sorted"):
+            oracle_max_admitted_discrete([2.0, 1.0], 1.0, 1.0)
+
+    def test_nonpositive_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            oracle_max_admitted_discrete([0.0], 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            oracle_max_admitted_fluid([0.0], 1.0, -1.0)
+
+    def test_report_summary_mentions_verdict(self):
+        report = certify_optimality(Workload([0.0, 5.0]), 2.0, 0.5)
+        assert report.ok
+        assert "OK" in report.summary()

@@ -6,10 +6,31 @@ suite stays fast; the full-scale reproduction runs live in benchmarks/.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.workload import Workload
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
+else:
+    # ``ci``: fully deterministic — derandomized example generation and
+    # no wall-clock deadline, so a red run always reproduces and slow CI
+    # machines never flake.  ``dev``: exploratory — random seeds and a
+    # bigger example budget to actually hunt for new counterexamples.
+    # Select with HYPOTHESIS_PROFILE; the deterministic profile is the
+    # default everywhere so tier-1 results are reproducible.
+    settings.register_profile(
+        "ci", derandomize=True, max_examples=100, deadline=None
+    )
+    settings.register_profile(
+        "dev", derandomize=False, max_examples=300, deadline=None
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture
