@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-json experiments examples verify clean
+.PHONY: install test bench bench-json bench-smoke experiments examples verify clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,10 @@ bench:
 
 bench-json:
 	$(PYTHON) benchmarks/bench_kernels.py --output BENCH_kernels.json
+	$(PYTHON) benchmarks/bench_engine.py --output BENCH_engine.json
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_engine.py --quick
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner all

@@ -80,6 +80,37 @@ def test_disabled_overhead_under_bound(workloads):
     )
 
 
+def _tick_seconds(ticks: int = 100_000) -> float:
+    """Median per-tick cost of a dormant monitoring grid: one reschedule
+    of the single ``_PeriodicTick`` event object plus a no-op callback."""
+    from repro.sim.engine import Simulator
+
+    def loop():
+        sim = Simulator()
+        sim.every(1.0, lambda: None, until=float(ticks))
+        sim.run()
+
+    return _median_seconds(loop, rounds=3) / ticks
+
+
+def test_dormant_tick_overhead_under_bound(workloads):
+    """A standard 10 Hz monitoring grid left installed while
+    observability is dormant adds < 5% to the simulation cost of a
+    library workload.  Guards the ``Simulator.every`` redesign: one
+    reschedulable event object per grid, no per-tick closure
+    allocation."""
+    w = workloads["fintrans"]
+    _simulate(w)  # warm-up
+    per_request = _median_seconds(lambda: _simulate(w)) / len(w)
+    per_tick = _tick_seconds()
+    ticks_per_request = (1.0 / 0.1) / w.mean_rate  # 10 Hz standard probe
+    overhead = per_tick * ticks_per_request / per_request
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"dormant 10 Hz monitoring grid costs {overhead:.2%} of "
+        f"per-request time (bound {MAX_DISABLED_OVERHEAD:.0%})"
+    )
+
+
 def test_disabled_run_benchmark(benchmark, workloads):
     """Reference timing: the default (unobserved) simulation."""
     w = workloads["fintrans"]

@@ -27,10 +27,12 @@ from .corpus import (
 from .differential import (
     CheckedRun,
     DifferentialReport,
+    EngineParityReport,
     KernelParityReport,
     decomposition_cross_check,
     differential_policies,
     disk_comparability_check,
+    engine_parity,
     fcfs_lindley_check,
     kernel_parity,
     run_checked,
@@ -63,10 +65,12 @@ __all__ = [
     "replay_golden",
     "CheckedRun",
     "DifferentialReport",
+    "EngineParityReport",
     "KernelParityReport",
     "decomposition_cross_check",
     "differential_policies",
     "disk_comparability_check",
+    "engine_parity",
     "fcfs_lindley_check",
     "kernel_parity",
     "run_checked",

@@ -10,7 +10,8 @@ Three verification passes, composable in one invocation:
   against the exact DP oracle, shrinking any counterexample;
 * ``--differential N`` — run ``N`` fuzzed traces through every
   recombination policy with the invariant auditors on, plus the kernel
-  parity and server-model cross-checks.
+  parity, execution-engine parity (scalar event loop vs columnar batch
+  engine), and server-model cross-checks.
 
 With no pass selected, a default smoke run executes: the corpus (when
 ``tests/corpus`` exists), a small fuzz batch, and a small differential
@@ -29,6 +30,7 @@ from .corpus import replay_corpus
 from .differential import (
     DEFAULT_POLICIES,
     differential_policies,
+    engine_parity,
     fcfs_lindley_check,
     kernel_parity,
 )
@@ -102,6 +104,13 @@ def _run_differential(
             status = 1
             problems += 1
             lines.append(problem)
+        engines = engine_parity(
+            workload, case.capacity, max(1.0, case.capacity / 2), case.delta
+        )
+        if not engines.ok:
+            status = 1
+            problems += 1
+            lines.append(engines.summary())
         report = differential_policies(
             workload, case.capacity, max(1.0, case.capacity / 2), case.delta,
             policies=policies,
@@ -113,7 +122,7 @@ def _run_differential(
     if status == 0:
         lines.append(
             f"differential OK: {n_cases} traces x {len(policies)} policies, "
-            "kernels and invariants agree"
+            "kernels, engines and invariants agree"
         )
     else:
         lines.insert(0, f"differential FAILED: {problems} problem(s)")

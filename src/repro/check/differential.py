@@ -37,6 +37,7 @@ from ..exceptions import ConfigurationError
 from ..perf import kernels, scalar
 from ..sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
 from ..server.base import Server
+from ..server.cluster import SplitSystem
 from ..server.constant_rate import ConstantRateModel, constant_rate_server
 from ..server.disk import DiskModel, DiskParameters
 from ..sim.engine import Simulator
@@ -260,7 +261,10 @@ def fcfs_lindley_check(
     arrivals = workload.arrivals
     if arrivals.size == 0:
         return problems
-    result = run_policy(workload, "fcfs", capacity, 0.0, delta=1.0)
+    # Pin the event engine: under REPRO_ENGINE=auto run_policy would take
+    # the columnar path, which is itself Lindley-based — the check would
+    # compare the recurrence with itself instead of with the simulator.
+    result = run_policy(workload, "fcfs", capacity, 0.0, delta=1.0, engine="scalar")
     s = 1.0 / capacity
     k = np.arange(arrivals.size)
     finish = s * (k + 1) + np.maximum.accumulate(arrivals - s * k)
@@ -340,6 +344,160 @@ def disk_comparability_check(
                 f"{worst:.3e} from the constant-rate model (atol {atol:.0e})"
             )
     return problems
+
+
+# ---------------------------------------------------------------------------
+# Execution-engine differential
+# ---------------------------------------------------------------------------
+
+
+#: Policies with a columnar kernel — the engine-parity surface.
+ENGINE_PARITY_POLICIES = ("fcfs", "split")
+
+
+@dataclass(frozen=True)
+class EngineParityReport:
+    """Scalar event loop vs columnar batch engine on one trace.
+
+    ``max_drift`` is the worst per-request completion-time disagreement
+    in seconds across all checked policies; ``bit_identical`` is True
+    when it is exactly zero (the engines' contract — ``atol`` merely
+    bounds how loud a violation must get before it is *reported*).
+    """
+
+    workload_name: str
+    cmin: float
+    delta_c: float
+    delta: float
+    policies: tuple[str, ...]
+    max_drift: float
+    bit_identical: bool
+    divergences: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        if self.ok:
+            exact = "bit-identical" if self.bit_identical else (
+                f"max drift {self.max_drift:.3e}s"
+            )
+            return (
+                f"engine parity OK across {list(self.policies)} on "
+                f"{self.workload_name}: {exact}"
+            )
+        return "engine parity VIOLATED: " + "; ".join(self.divergences)
+
+
+def _scalar_columns(
+    workload: Workload, policy: str, cmin: float, delta_c: float, delta: float
+):
+    """Event-engine run returning per-index columns + conservation ledger."""
+    sim = Simulator()
+    if policy == "split":
+        system = SplitSystem(sim, cmin, delta_c, delta)
+    else:
+        scheduler = make_scheduler(policy, cmin, delta_c, delta)
+        server = constant_rate_server(sim, cmin + delta_c, name=policy)
+        system = DeviceDriver(sim, server, scheduler)
+    WorkloadSource(sim, workload, system).start()
+    sim.run()
+    # Per-index *response* columns: ``completion - arrival`` is the same
+    # float operation the batch engine applies to its completion columns,
+    # so the comparison stays bit-faithful (re-adding the arrival would
+    # reassociate the floats and manufacture sub-ulp drift).
+    responses = np.full(len(workload), np.nan)
+    admitted = np.zeros(len(workload), dtype=bool)
+    for request in system.completed:
+        responses[request.index] = request.completion - request.arrival
+        admitted[request.index] = request.qos_class is QoSClass.PRIMARY
+    return responses, admitted, system.fault_ledger(), system.primary_deadline_misses()
+
+
+def engine_parity(
+    workload: Workload,
+    cmin: float,
+    delta_c: float,
+    delta: float,
+    policies: tuple[str, ...] = ENGINE_PARITY_POLICIES,
+    atol: float = scalar.EPS,
+) -> EngineParityReport:
+    """Certify the batch engine against the event engine on one trace.
+
+    For every batch-eligible policy, both engines serve the same trace
+    and must agree on
+
+    * the **admitted set** — the per-index ``Q1`` membership mask,
+      compared bit-for-bit;
+    * **completion times** — per-index, within ``atol`` (the kernel
+      EPS; the engines are in fact bit-identical and the report records
+      whether that stronger property held);
+    * the **conservation ledger** — every arrival completed, nothing
+      dropped or shed, and the primary deadline-miss counts match.
+
+    This is the ``engine_parity`` differential backing the
+    ``REPRO_ENGINE=auto`` transparent dispatch; ``repro-check
+    --differential`` fuzzes it over adversarial traces.
+    """
+    from ..sim import batch
+
+    divergences: list[str] = []
+    max_drift = 0.0
+    arrivals = workload.arrivals
+    for policy in policies:
+        eligible, reason = batch.supports(policy)
+        if not eligible:
+            divergences.append(f"{policy}: not batch-eligible ({reason})")
+            continue
+        scalar_resp, scalar_adm, ledger, scalar_misses = _scalar_columns(
+            workload, policy, cmin, delta_c, delta
+        )
+        run = batch.run_batch(arrivals, policy, cmin, delta_c, delta)
+        if ledger["completed"] != len(workload) or ledger["dropped"] or ledger["shed"]:
+            divergences.append(f"{policy}: scalar ledger not conserving: {ledger}")
+        if run.overall.size != len(workload) or run.admitted.size != len(workload):
+            divergences.append(
+                f"{policy}: batch completed {run.overall.size} of {len(workload)}"
+            )
+            continue
+        batch_resp = np.empty(len(workload))
+        batch_resp[run.admitted] = run.primary
+        batch_resp[~run.admitted] = run.overall if policy == "fcfs" else run.overflow
+        if not np.array_equal(scalar_adm, run.admitted):
+            where = np.nonzero(scalar_adm != run.admitted)[0]
+            divergences.append(
+                f"{policy}: admitted sets differ at indices "
+                f"{where[:5].tolist()} (scalar {int(scalar_adm.sum())} vs "
+                f"batch {int(run.admitted.sum())} admitted)"
+            )
+            continue
+        if np.isnan(scalar_resp).any():
+            divergences.append(f"{policy}: scalar engine left requests incomplete")
+            continue
+        drift = float(np.max(np.abs(scalar_resp - batch_resp))) if len(workload) else 0.0
+        max_drift = max(max_drift, drift)
+        if drift > atol:
+            worst = int(np.argmax(np.abs(scalar_resp - batch_resp)))
+            divergences.append(
+                f"{policy}: completion times drift {drift:.3e}s at request "
+                f"{worst} (atol {atol:.0e})"
+            )
+        if scalar_misses != run.primary_misses:
+            divergences.append(
+                f"{policy}: primary misses {scalar_misses} (scalar) vs "
+                f"{run.primary_misses} (batch)"
+            )
+    return EngineParityReport(
+        workload_name=workload.name,
+        cmin=float(cmin),
+        delta_c=float(delta_c),
+        delta=float(delta),
+        policies=tuple(policies),
+        max_drift=max_drift,
+        bit_identical=max_drift == 0.0,
+        divergences=tuple(divergences),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -12,28 +12,52 @@ cache.  Select with the ``REPRO_KERNEL`` environment variable or
 See :mod:`repro.perf.kernels` for the dispatch rules and
 ``benchmarks/bench_kernels.py`` (or ``make bench-json``) for measured
 speedups on the bundled traces.
+
+The package also hosts the *execution engine* registry
+(:mod:`repro.perf.engines`): ``REPRO_ENGINE=scalar|batch|auto`` selects
+between the discrete-event loop and the columnar fast path of
+:mod:`repro.sim.batch` for whole :func:`repro.shaping.run_policy`
+simulations; see ``benchmarks/bench_engine.py`` / ``BENCH_engine.json``.
 """
 
+from .engines import (
+    ENGINE_ENV_VAR,
+    active_engine,
+    available_engines,
+    resolve_engine,
+    set_engine,
+    use_engine,
+)
 from .kernels import (
     ENV_VAR,
+    NUMPY_MIN_BATCHES,
     KernelBackend,
     active_backend,
     admitted_per_batch,
     available_backends,
     count_admitted,
     count_admitted_sweep,
+    dispatch_backend,
     set_backend,
     use_backend,
 )
 
 __all__ = [
     "ENV_VAR",
+    "ENGINE_ENV_VAR",
+    "NUMPY_MIN_BATCHES",
     "KernelBackend",
     "active_backend",
+    "active_engine",
     "admitted_per_batch",
     "available_backends",
+    "available_engines",
     "count_admitted",
     "count_admitted_sweep",
+    "dispatch_backend",
+    "resolve_engine",
     "set_backend",
+    "set_engine",
     "use_backend",
+    "use_engine",
 ]

@@ -1,0 +1,96 @@
+"""Execution-engine registry: scalar event loop vs columnar batch.
+
+The kernel registry (:mod:`repro.perf.kernels`) swaps implementations of
+the RTT admission recurrence; this registry swaps the *execution engine*
+that :func:`repro.shaping.run_policy` uses to serve a workload:
+
+``scalar``
+    The discrete-event simulation loop (:mod:`repro.sim.engine`) — one
+    heapq event per arrival/completion, one ``Request`` object per
+    arrival.  Reference semantics; always applicable.
+``batch``
+    The columnar fast path (:mod:`repro.sim.batch`) — struct-of-arrays
+    storage and sequential Lindley recurrences that replay the event
+    engine's float arithmetic bit-for-bit, with numpy for everything
+    around them.  Only applicable to configurations whose dynamics
+    reduce to the Lindley form (see :func:`repro.sim.batch.supports`);
+    requesting it for an ineligible configuration is an error.
+``auto``
+    Batch when the configuration qualifies, silent fallback to scalar
+    otherwise.  The default.
+
+Selection, highest priority first (mirroring ``REPRO_KERNEL``):
+
+1. the ``engine=`` argument of :func:`repro.shaping.run_policy`,
+2. :func:`set_engine` / :func:`use_engine` (programmatic),
+3. the ``REPRO_ENGINE`` environment variable,
+4. ``auto``.
+
+Parity between the two engines is certified by
+:func:`repro.check.differential.engine_parity` (identical admitted sets,
+completion times within kernel EPS, conservation ledger agreement) and
+fuzzed continuously by ``repro-check --differential``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from ..exceptions import ConfigurationError
+
+#: Environment variable naming the engine ("scalar", "batch", or "auto").
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Engines that exist (``auto`` is a selection rule, not an engine).
+ENGINES = ("scalar", "batch")
+
+#: Programmatic override; None defers to the environment / auto rule.
+_override: str | None = None
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of the execution engines usable in this environment."""
+    return ENGINES
+
+
+def resolve_engine(name: str | None = None) -> str:
+    """Resolve a request to ``"scalar"``, ``"batch"``, or ``"auto"``.
+
+    ``auto`` is returned as-is — whether it lands on the batch path is a
+    per-configuration decision made by the caller against
+    :func:`repro.sim.batch.supports`, not a process-wide one.
+    """
+    requested = name or _override or os.environ.get(ENGINE_ENV_VAR, "auto")
+    requested = requested.strip().lower()
+    if requested != "auto" and requested not in ENGINES:
+        raise ConfigurationError(
+            f"unknown execution engine {requested!r}; "
+            f"choose from {sorted(ENGINES)} or 'auto'"
+        )
+    return requested
+
+
+def active_engine() -> str:
+    """Resolved engine request the next :func:`run_policy` call will see."""
+    return resolve_engine()
+
+
+def set_engine(name: str | None) -> None:
+    """Select an engine for the whole process (None restores auto)."""
+    global _override
+    if name is not None:
+        resolve_engine(name)  # validate eagerly
+    _override = name
+
+
+@contextmanager
+def use_engine(name: str):
+    """Temporarily select an engine (primarily for tests/benchmarks)."""
+    global _override
+    previous = _override
+    set_engine(name)
+    try:
+        yield
+    finally:
+        _override = previous

@@ -16,7 +16,12 @@ Selection, highest priority first:
 
 1. :func:`set_backend` / :func:`use_backend` (programmatic),
 2. the ``REPRO_KERNEL`` environment variable,
-3. ``auto``: ``native`` when available, else ``numpy``.
+3. ``auto``: ``native`` when available; otherwise ``numpy``, except
+   that inputs shorter than :data:`NUMPY_MIN_BATCHES` batches take the
+   ``scalar`` loop — below that size numpy's fixed array-pass overhead
+   loses to plain Python (measured crossover ~1e3 batches; cf. the
+   0.85x rows in ``BENCH_kernels.json``).  An explicitly requested
+   backend is always honored regardless of size.
 
 Every kernel takes the batched ``(instants, counts)`` workload
 representation (:meth:`repro.core.workload.Workload.arrival_counts`),
@@ -74,6 +79,11 @@ _BACKENDS: dict[str, KernelBackend] = {
 #: Programmatic override; None defers to the environment / auto rule.
 _override: str | None = None
 
+#: ``auto`` dispatch crossover: below this many batches the scalar loop
+#: beats the numpy kernel (array allocation and safe-run compression
+#: cost more than they save), so size-aware auto dispatch picks scalar.
+NUMPY_MIN_BATCHES = 1024
+
 
 def available_backends() -> tuple[str, ...]:
     """Names of the backends usable in this environment."""
@@ -83,11 +93,16 @@ def available_backends() -> tuple[str, ...]:
     return tuple(names)
 
 
-def _resolve(name: str | None = None) -> KernelBackend:
+def _resolve(name: str | None = None, size: int | None = None) -> KernelBackend:
     requested = name or _override or os.environ.get(ENV_VAR, "auto")
     requested = requested.strip().lower()
     if requested == "auto":
-        requested = "native" if native.available() else "numpy"
+        if native.available():
+            requested = "native"
+        elif size is not None and size < NUMPY_MIN_BATCHES:
+            requested = "scalar"
+        else:
+            requested = "numpy"
     try:
         backend = _BACKENDS[requested]
     except KeyError:
@@ -104,8 +119,18 @@ def _resolve(name: str | None = None) -> KernelBackend:
 
 
 def active_backend() -> str:
-    """Resolved name of the backend the next kernel call will use."""
+    """Resolved name of the backend the next kernel call will use.
+
+    Size-agnostic: under ``auto`` without a native build this reports
+    ``numpy`` even though a short input would dispatch to ``scalar`` —
+    use :func:`dispatch_backend` to resolve for a concrete size.
+    """
     return _resolve().name
+
+
+def dispatch_backend(size: int) -> str:
+    """Backend an auto-dispatched kernel call would use for ``size`` batches."""
+    return _resolve(size=size).name
 
 
 def set_backend(name: str | None) -> None:
@@ -140,7 +165,9 @@ def count_admitted(
 ) -> int:
     """Requests RTT admits to Q1 over the batched stream."""
     _validate(capacity, delta)
-    return _resolve(backend).count(instants, counts, capacity, delta)
+    return _resolve(backend, size=len(instants)).count(
+        instants, counts, capacity, delta
+    )
 
 
 def admitted_per_batch(
@@ -148,7 +175,9 @@ def admitted_per_batch(
 ) -> np.ndarray:
     """Admitted count ``k_i`` for every batch (mask-building primitive)."""
     _validate(capacity, delta)
-    return _resolve(backend).per_batch(instants, counts, capacity, delta)
+    return _resolve(backend, size=len(instants)).per_batch(
+        instants, counts, capacity, delta
+    )
 
 
 def count_admitted_sweep(
@@ -164,4 +193,4 @@ def count_admitted_sweep(
     caps = np.asarray(capacities, dtype=np.float64)
     if caps.size and caps.min() <= 0:
         raise ConfigurationError("capacities must be positive")
-    return _resolve(backend).sweep(instants, counts, caps, delta)
+    return _resolve(backend, size=len(instants)).sweep(instants, counts, caps, delta)

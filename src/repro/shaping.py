@@ -34,10 +34,12 @@ from .exceptions import ConfigurationError, SimulationError
 from .obs.export import export_run
 from .obs.registry import MetricsRegistry
 from .obs.sampler import Sampler, attach_standard_probes
+from .perf import engines
 from .sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
 from .server.cluster import SplitSystem
 from .server.constant_rate import constant_rate_server
 from .server.driver import DeviceDriver
+from .sim import batch
 from .sim.engine import Simulator
 from .sim.source import WorkloadSource
 from .sim.stats import ResponseTimeCollector
@@ -103,6 +105,9 @@ class PolicyRunResult:
     #: Metrics + samples when observability was enabled (``metrics=`` /
     #: ``sample_interval=``); ``None`` for unobserved runs.
     telemetry: RunTelemetry | None = None
+    #: Execution engine that produced this result ("scalar" event loop
+    #: or the "batch" columnar fast path — bit-identical samples).
+    engine: str = "scalar"
 
     @property
     def total_capacity(self) -> float:
@@ -130,6 +135,7 @@ def run_policy(
     record_rates: float | None = None,
     metrics: MetricsRegistry | None = None,
     sample_interval: float | None = None,
+    engine: str | None = None,
 ) -> PolicyRunResult:
     """Simulate serving ``workload`` under ``policy`` and collect stats.
 
@@ -143,11 +149,37 @@ def run_policy(
     scheduler; ``sample_interval`` additionally installs a periodic
     :class:`~repro.obs.sampler.Sampler` with the standard probe set.
     Either one populates ``PolicyRunResult.telemetry``.
+
+    ``engine`` overrides the execution-engine selection of
+    :mod:`repro.perf.engines` for this call: ``"scalar"`` forces the
+    event loop, ``"batch"`` demands the columnar fast path (an error if
+    the configuration is ineligible), and ``"auto"`` (the process
+    default) takes the fast path exactly when the configuration
+    qualifies — an FCFS or Split run with no observability attached —
+    producing bit-identical samples either way (certified by
+    :func:`repro.check.differential.engine_parity`).
     """
     if cmin <= 0 or delta_c < 0 or delta <= 0:
         raise ConfigurationError(
             f"bad configuration: cmin={cmin}, delta_c={delta_c}, delta={delta}"
         )
+    requested = engines.resolve_engine(engine)
+    if requested != "scalar":
+        if policy != "split" and policy not in SINGLE_SERVER_POLICIES:
+            raise ConfigurationError(f"unknown policy {policy!r}")
+        eligible, reason = batch.supports(
+            policy,
+            record_rates=record_rates,
+            metrics=metrics,
+            sample_interval=sample_interval,
+        )
+        if eligible:
+            return _run_policy_batch(workload, policy, cmin, delta_c, delta)
+        if requested == "batch":
+            raise ConfigurationError(
+                f"engine 'batch' cannot run this configuration: {reason} "
+                "(use engine='auto' to fall back to the event engine)"
+            )
     sim = Simulator()
     if policy == "split":
         if record_rates is not None:
@@ -225,6 +257,45 @@ def run_policy(
             else None
         ),
         telemetry=telemetry,
+    )
+
+
+def _run_policy_batch(
+    workload: Workload,
+    policy: str,
+    cmin: float,
+    delta_c: float,
+    delta: float,
+) -> PolicyRunResult:
+    """Columnar fast path of :func:`run_policy` (eligible configs only).
+
+    Delegates the dynamics to :func:`repro.sim.batch.run_batch` and
+    repackages the response columns into the same collectors the scalar
+    engine fills — in the same sample order, so downstream consumers
+    cannot tell the engines apart.
+    """
+    run = batch.run_batch(workload.arrivals, policy, cmin, delta_c, delta)
+    overall = ResponseTimeCollector("overall")
+    overall.extend_array(run.overall)
+    primary = ResponseTimeCollector("Q1")
+    primary.extend_array(run.primary)
+    overflow = ResponseTimeCollector("Q2")
+    overflow.extend_array(run.overflow)
+    if len(overall) != len(workload):
+        raise SimulationError(
+            f"{policy}: {len(overall)} of {len(workload)} requests completed"
+        )
+    return PolicyRunResult(
+        policy=policy,
+        workload_name=workload.name,
+        cmin=cmin,
+        delta_c=delta_c,
+        delta=delta,
+        overall=overall,
+        primary=primary,
+        overflow=overflow,
+        primary_misses=run.primary_misses,
+        engine="batch",
     )
 
 

@@ -1,5 +1,24 @@
-"""Discrete-event simulation engine (the DiskSim stand-in substrate)."""
+"""Discrete-event simulation engine (the DiskSim stand-in substrate).
 
+Two execution modes share this package: the event-driven
+:class:`Simulator` (reference semantics) and the columnar batch engine
+(:mod:`repro.sim.batch`) that replays the same dynamics bit-exactly for
+Lindley-reducible configurations; see ``REPRO_ENGINE`` in
+:mod:`repro.perf.engines`.
+"""
+
+from .batch import (
+    EPOCH,
+    BatchRun,
+    SplitColumns,
+    StreamSummary,
+    farm_fcfs_completions,
+    fcfs_completions,
+    fcfs_stream,
+    run_batch,
+    split_columns,
+    split_stream,
+)
 from .engine import Simulator
 from .events import (
     PRIORITY_ARRIVAL,
@@ -15,6 +34,16 @@ from .trace_log import LifecycleEvent, LifecycleTracer, Phase
 
 __all__ = [
     "Simulator",
+    "EPOCH",
+    "BatchRun",
+    "SplitColumns",
+    "StreamSummary",
+    "farm_fcfs_completions",
+    "fcfs_completions",
+    "fcfs_stream",
+    "run_batch",
+    "split_columns",
+    "split_stream",
     "Event",
     "EventQueue",
     "PRIORITY_ARRIVAL",

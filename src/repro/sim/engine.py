@@ -101,7 +101,9 @@ class Simulator:
         ----------
         until:
             Stop once the next event is strictly later than this instant
-            (events exactly at ``until`` still fire).
+            (events exactly at ``until`` still fire).  The clock lands
+            on ``until`` whether the loop stops on a later event or on
+            an empty queue — both exits leave ``now == until``.
         max_events:
             Safety valve for runaway simulations.
         """
@@ -114,6 +116,8 @@ class Simulator:
                     raise SimulationError(f"exceeded max_events={max_events}")
                 next_time = self._queue.peek_time()
                 if next_time is None:
+                    if until is not None and until > self._now:
+                        self._now = until
                     break
                 if until is not None and next_time > until:
                     self._now = until
@@ -140,16 +144,43 @@ class Simulator:
 
         The first tick fires ``interval`` seconds after the *current*
         simulated time, so ``every`` may be installed mid-run (e.g. from
-        another event) without trying to schedule into the past.
+        another event) without trying to schedule into the past.  Ticks
+        ride on a single reschedulable callback object — periodic
+        samplers used to allocate two fresh closures per tick on the hot
+        loop (see ``benchmarks/bench_obs.py`` for the overhead bound).
         """
         if interval <= 0:
             raise SimulationError(f"interval must be positive, got {interval}")
+        tick = _PeriodicTick(self, interval, callback, until)
+        self.schedule(tick.next_time, tick, priority=PRIORITY_MONITOR)
 
-        def tick(time: float) -> None:
-            callback()
-            nxt = time + interval
-            if nxt <= until:
-                self.schedule(nxt, lambda: tick(nxt), priority=PRIORITY_MONITOR)
 
-        first = self._now + interval
-        self.schedule(first, lambda: tick(first), priority=PRIORITY_MONITOR)
+class _PeriodicTick:
+    """Reusable event callback implementing :meth:`Simulator.every`.
+
+    The nominal tick instant advances by ``interval`` from the *previous
+    nominal instant* (not from ``sim.now``), so the grid stays drift-free
+    no matter what fires in between.
+    """
+
+    __slots__ = ("_sim", "_interval", "_callback", "_until", "next_time")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        until: float,
+    ) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._until = until
+        self.next_time = sim.now + interval
+
+    def __call__(self) -> None:
+        self._callback()
+        nxt = self.next_time + self._interval
+        if nxt <= self._until:
+            self.next_time = nxt
+            self._sim.schedule(nxt, self, priority=PRIORITY_MONITOR)

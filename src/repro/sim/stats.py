@@ -63,6 +63,33 @@ class OnlineStats:
         merged.max = max(self.max, other.max)
         return merged
 
+    def add_array(self, values) -> None:
+        """Fold a whole array in at once (vectorized Welford merge).
+
+        One numpy pass over ``values`` followed by the same combine step
+        as :meth:`merge`.  Counts, min and max are exact; ``mean`` and
+        ``variance`` may differ from sample-at-a-time :meth:`add` by
+        float re-association (~1e-15 relative) — same caveat as any
+        parallel Welford merge.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        count = int(values.size)
+        mean = float(values.mean())
+        m2 = float(np.square(values - mean).sum())
+        total = self.count + count
+        delta = mean - self.mean
+        self.mean = self.mean + delta * count / total
+        self._m2 += m2 + delta * delta * self.count * count / total
+        self.count = total
+        low = float(values.min())
+        high = float(values.max())
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+
 
 class ResponseTimeCollector:
     """Accumulates response-time samples and reports distribution views."""
@@ -83,6 +110,23 @@ class ResponseTimeCollector:
     def extend(self, response_times: Sequence[float]) -> None:
         for value in response_times:
             self.add(float(value))
+
+    def extend_array(self, response_times) -> None:
+        """Bulk ingestion for columnar runs (:mod:`repro.sim.batch`).
+
+        The stored samples are bit-identical to feeding :meth:`add` in a
+        loop; the Welford moments take the vectorized
+        :meth:`OnlineStats.add_array` path (see its float caveat).
+        """
+        values = np.asarray(response_times, dtype=np.float64)
+        if values.size == 0:
+            return
+        if float(values.min()) < 0:
+            raise SimulationError(
+                f"negative response time {float(values.min())} in {self.name}"
+            )
+        self._samples.extend(values.tolist())
+        self.stats.add_array(values)
 
     def __len__(self) -> int:
         return len(self._samples)

@@ -26,11 +26,13 @@ from repro.core.workload import Workload
 from repro.exceptions import ConfigurationError
 from repro.perf import (
     ENV_VAR,
+    NUMPY_MIN_BATCHES,
     active_backend,
     admitted_per_batch,
     available_backends,
     count_admitted,
     count_admitted_sweep,
+    dispatch_backend,
     set_backend,
     use_backend,
 )
@@ -201,3 +203,61 @@ class TestRegistry:
             count_admitted([0.0], [1], 1.0, -1.0)
         with pytest.raises(ConfigurationError):
             count_admitted_sweep([0.0], [1], [1.0, -2.0], 1.0)
+
+
+class TestAutoDispatchCrossover:
+    """Regression for the size-aware ``auto`` crossover.
+
+    BENCH_kernels.json showed numpy *losing* to scalar (0.85x) on small
+    per-call batch counts: array allocation and safe-run compression
+    cost more than they save below ~1000 batches.  ``auto`` without a
+    native build must therefore dispatch by input size.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _auto_without_native(self, monkeypatch):
+        """Force the auto rule with no env/override and no native build."""
+        from repro.perf import kernels, native
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        monkeypatch.setattr(kernels, "_override", None)
+        monkeypatch.setattr(native, "available", lambda: False)
+
+    def test_small_inputs_dispatch_to_scalar(self):
+        assert dispatch_backend(0) == "scalar"
+        assert dispatch_backend(NUMPY_MIN_BATCHES - 1) == "scalar"
+
+    def test_large_inputs_dispatch_to_numpy(self):
+        assert dispatch_backend(NUMPY_MIN_BATCHES) == "numpy"
+        assert dispatch_backend(40000) == "numpy"
+
+    def test_native_ignores_size_threshold(self, monkeypatch):
+        """Native beats both at every measured size: no crossover."""
+        from repro.perf import native
+
+        monkeypatch.setattr(native, "available", lambda: True)
+        assert dispatch_backend(1) == "native"
+        assert dispatch_backend(NUMPY_MIN_BATCHES) == "native"
+
+    def test_explicit_backend_beats_size_rule(self):
+        """An explicit request is always honored, whatever the size."""
+        with use_backend("numpy"):
+            assert dispatch_backend(1) == "numpy"
+        with use_backend("scalar"):
+            assert dispatch_backend(10 * NUMPY_MIN_BATCHES) == "scalar"
+
+    def test_env_var_beats_size_rule(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        assert dispatch_backend(1) == "numpy"
+
+    def test_small_call_still_correct_under_auto(self):
+        """The dispatch switch changes speed, never answers."""
+        instants = [0.0, 0.25, 0.5]
+        counts = [4, 4, 4]
+        auto = count_admitted(instants, counts, 8.0, 0.5)
+        assert auto == count_admitted(
+            instants, counts, 8.0, 0.5, backend="scalar"
+        )
+        assert auto == count_admitted(
+            instants, counts, 8.0, 0.5, backend="numpy"
+        )

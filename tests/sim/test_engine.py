@@ -4,6 +4,7 @@ import pytest
 
 from repro.exceptions import SimulationError
 from repro.sim.engine import Simulator
+from repro.sim.events import PRIORITY_ARRIVAL, PRIORITY_MONITOR
 
 
 class TestClock:
@@ -92,6 +93,40 @@ class TestRunControls:
         sim.run(until=2.0)
         assert seen == [2]
 
+    def test_until_with_drained_queue_lands_on_until(self):
+        """Both exit paths of run(until) leave the clock at ``until``:
+        the queue draining early must not strand ``now`` at the last
+        event time."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_until_never_moves_clock_backwards(self):
+        sim = Simulator()
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert sim.now == 4.0
+        sim.run(until=2.0)  # horizon already passed: no-op
+        assert sim.now == 4.0
+
+    def test_drained_until_exit_allows_scheduling_at_horizon(self):
+        """After an early-drain exit the clock is at ``until``, so a
+        monitoring tick installed next starts relative to the horizon —
+        consistent with the stopped-on-later-event exit path."""
+        sim = Simulator()
+        sim.schedule(0.5, lambda: None)
+        sim.run(until=2.0)
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), until=4.5)
+        sim.run()
+        assert ticks == [3.0, 4.0]
+
     def test_max_events_guard(self):
         sim = Simulator()
 
@@ -156,3 +191,35 @@ class TestEvery:
         sim.every(1.0, lambda: ticks.append(sim.now), until=4.5)
         sim.run()
         assert ticks == [3.0, 4.0]
+
+    def test_single_reusable_tick_object(self):
+        """Regression: ``every`` reschedules ONE callback object instead
+        of allocating fresh closures per tick (hot-loop garbage)."""
+        sim = Simulator()
+        sim.every(1.0, lambda: None, until=10.5)
+        (first,) = sim._queue._heap
+        sim.run(until=5.0)
+        (pending,) = [e for e in sim._queue._heap if not e.cancelled]
+        assert pending.callback is first.callback
+
+    def test_tick_interacts_with_until_exit(self):
+        """Ticks exactly at ``until`` fire; the grid resumes unshifted."""
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), until=5.5)
+        sim.run(until=3.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_monitor_fires_after_arrival_at_same_instant(self):
+        """At identical timestamps PRIORITY_ARRIVAL (10) precedes
+        PRIORITY_MONITOR (20) regardless of scheduling order — samplers
+        observe a state that already includes the instant's arrivals."""
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("monitor"), priority=PRIORITY_MONITOR)
+        sim.schedule(1.0, lambda: order.append("arrival"), priority=PRIORITY_ARRIVAL)
+        sim.run()
+        assert order == ["arrival", "monitor"]

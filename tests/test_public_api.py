@@ -51,6 +51,17 @@ PUBLIC_API = {
         "Simulator", "Event", "EventQueue", "WorkloadSource",
         "OnlineStats", "RateRecorder", "ResponseTimeCollector",
         "LifecycleTracer", "Phase", "make_rng", "spawn",
+        "BatchRun", "SplitColumns", "StreamSummary", "run_batch",
+        "fcfs_completions", "split_columns", "farm_fcfs_completions",
+        "fcfs_stream", "split_stream", "EPOCH",
+    ],
+    "repro.perf": [
+        "ENV_VAR", "ENGINE_ENV_VAR", "NUMPY_MIN_BATCHES",
+        "KernelBackend", "active_backend", "dispatch_backend",
+        "available_backends", "count_admitted", "admitted_per_batch",
+        "count_admitted_sweep", "set_backend", "use_backend",
+        "active_engine", "available_engines", "resolve_engine",
+        "set_engine", "use_engine",
     ],
     "repro.traces": [
         "websearch", "fintrans", "openmail", "load", "WORKLOADS",
