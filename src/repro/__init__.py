@@ -23,7 +23,13 @@ from .core.rtt import decompose, decompose_fluid
 from .core.sla import GraduatedSLA
 from .core.workload import Workload
 from .exceptions import ReproError
-from .shaping import PolicyRunResult, ShapingOutcome, WorkloadShaper, run_policy
+from .shaping import (
+    PolicyRunResult,
+    RunConfig,
+    ShapingOutcome,
+    WorkloadShaper,
+    run_policy,
+)
 from .tenancy import SharedServer, Tenant
 
 __all__ = [
@@ -38,6 +44,7 @@ __all__ = [
     "Workload",
     "ReproError",
     "PolicyRunResult",
+    "RunConfig",
     "ShapingOutcome",
     "WorkloadShaper",
     "run_policy",

@@ -73,12 +73,16 @@ class GoldenTrace:
     source: dict = field(default_factory=dict)
     float_tolerance: float = FLOAT_TOLERANCE
     policies: tuple = GOLDEN_POLICIES
+    #: Optional per-request service demands; ``None`` pins the unit-cost
+    #: model (the pre-sized-request corpus format, still the common case).
+    sizes: tuple | None = None
 
     def workload(self) -> Workload:
         return Workload(
             np.asarray(self.arrivals, dtype=float),
             name=self.name,
             metadata=dict(self.source),
+            sizes=None if self.sizes is None else np.asarray(self.sizes, dtype=float),
         )
 
 
@@ -128,11 +132,21 @@ def record_golden(
     delta_c: float | None = None,
     source: dict | None = None,
     policies: Iterable[str] = GOLDEN_POLICIES,
+    sizes=None,
 ) -> GoldenTrace:
-    """Compute expectations for a trace and write the corpus JSON file."""
+    """Compute expectations for a trace and write the corpus JSON file.
+
+    ``sizes`` optionally pins per-request service demands, producing a
+    sized golden; unit goldens omit the key entirely, keeping the
+    historical file format byte-compatible.
+    """
     if delta_c is None:
         delta_c = 1.0 / delta
-    workload = Workload(np.asarray(arrivals, dtype=float), name=name)
+    workload = Workload(
+        np.asarray(arrivals, dtype=float),
+        name=name,
+        sizes=None if sizes is None else np.asarray(sizes, dtype=float),
+    )
     golden = GoldenTrace(
         name=name,
         capacity=float(capacity),
@@ -142,6 +156,7 @@ def record_golden(
         expect=compute_expectations(workload, capacity, delta, delta_c, policies),
         source=dict(source or {}),
         policies=tuple(policies),
+        sizes=None if sizes is None else tuple(float(d) for d in workload.sizes),
     )
     payload = {
         "name": golden.name,
@@ -155,6 +170,8 @@ def record_golden(
         "arrivals": list(golden.arrivals),
         "expect": golden.expect,
     }
+    if golden.sizes is not None:
+        payload["sizes"] = list(golden.sizes)
     Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return golden
 
@@ -173,6 +190,11 @@ def load_golden(path: str | Path) -> GoldenTrace:
             source=dict(payload.get("source", {})),
             float_tolerance=float(payload.get("float_tolerance", FLOAT_TOLERANCE)),
             policies=tuple(payload.get("policies", GOLDEN_POLICIES)),
+            sizes=(
+                tuple(float(d) for d in payload["sizes"])
+                if payload.get("sizes") is not None
+                else None
+            ),
         )
     except KeyError as missing:
         raise ConfigurationError(

@@ -44,7 +44,7 @@ from ..sim.engine import Simulator
 from ..sim.source import WorkloadSource
 from ..sim.stats import ResponseTimeCollector
 from ..server.driver import DeviceDriver
-from ..shaping import run_policy
+from ..shaping import RunConfig, run_policy
 from .invariants import CheckingScheduler, Violation
 
 #: Policies the differential harness exercises by default: the four
@@ -264,7 +264,9 @@ def fcfs_lindley_check(
     # Pin the event engine: under REPRO_ENGINE=auto run_policy would take
     # the columnar path, which is itself Lindley-based — the check would
     # compare the recurrence with itself instead of with the simulator.
-    result = run_policy(workload, "fcfs", capacity, 0.0, delta=1.0, engine="scalar")
+    result = run_policy(
+        workload, "fcfs", config=RunConfig(capacity, 0.0, delta=1.0, engine="scalar")
+    )
     s = 1.0 / capacity
     k = np.arange(arrivals.size)
     finish = s * (k + 1) + np.maximum.accumulate(arrivals - s * k)
@@ -453,7 +455,15 @@ def engine_parity(
         scalar_resp, scalar_adm, ledger, scalar_misses = _scalar_columns(
             workload, policy, cmin, delta_c, delta
         )
-        run = batch.run_batch(arrivals, policy, cmin, delta_c, delta)
+        # The scalar side picks a sized workload's demand column up from
+        # WorkloadSource automatically; hand the same column to the batch
+        # kernels (unit runs keep the seed-era call shape).
+        if workload.sizes is None:
+            run = batch.run_batch(arrivals, policy, cmin, delta_c, delta)
+        else:
+            run = batch.run_batch(
+                arrivals, policy, cmin, delta_c, delta, demands=workload.sizes
+            )
         if ledger["completed"] != len(workload) or ledger["dropped"] or ledger["shed"]:
             divergences.append(f"{policy}: scalar ledger not conserving: {ledger}")
         if run.overall.size != len(workload) or run.admitted.size != len(workload):

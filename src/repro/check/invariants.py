@@ -219,8 +219,17 @@ class CheckingScheduler(Scheduler):
         # ``set_limit`` may shrink the bound below the current occupancy
         # (degradation drains, it does not evict), so audit against the
         # largest bound the occupancy could legally have been admitted
-        # under.
-        if classifier.len_q1 > classifier.planned_limit:
+        # under.  Work-bound mode caps outstanding *work* rather than the
+        # request count (many small demands can legally exceed the count
+        # limit), so each mode audits its own ledger.
+        if getattr(classifier, "mode", "count") == "work":
+            if classifier.work_q1 > classifier.work_limit + 1e-6:
+                self._flag(
+                    "classifier-bound",
+                    f"outstanding work {classifier.work_q1} exceeds work "
+                    f"limit {classifier.work_limit}",
+                )
+        elif classifier.len_q1 > classifier.planned_limit:
             self._flag(
                 "classifier-bound",
                 f"occupancy {classifier.len_q1} exceeds planned limit "

@@ -1,0 +1,157 @@
+"""Generic named-strategy registry with override and environment chains.
+
+Three switchboards grew up independently in this codebase: the RTT kernel
+backends (``REPRO_KERNEL``, :mod:`repro.perf.kernels`), the execution
+engines (``REPRO_ENGINE``, :mod:`repro.perf.engines`), and the scheduling
+policy factory (:mod:`repro.sched.registry`).  Each re-implemented the
+same idioms — a name→value dict, an environment variable, a programmatic
+override with a restoring context manager, and an "unknown name" error
+listing the alternatives.  :class:`Registry` is that idiom, once.
+
+Resolution order for :meth:`Registry.resolve`, highest priority first:
+
+1. an explicit ``name`` argument,
+2. the programmatic override (:meth:`set_override` / :meth:`use`),
+3. the environment variable (when the registry has one),
+4. the registry's default.
+
+Registries may declare *virtual* names — selectors like ``"auto"`` that
+are legal to request but are resolution rules rather than registered
+entries; :meth:`resolve` passes them through for the caller to
+interpret, while :meth:`get` only ever returns registered values.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+from ..exceptions import ConfigurationError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Named values plus the override/environment selection chain.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun used in error messages ("kernel backend",
+        "execution engine", "policy").
+    env_var:
+        Optional environment variable consulted by :meth:`resolve` when
+        no explicit name or programmatic override is active.
+    default:
+        Name resolved when nothing else selects one.  ``None`` means an
+        explicit name is required.
+    virtual:
+        Names that :meth:`resolve` accepts without a registered entry
+        (e.g. ``"auto"``).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        env_var: Optional[str] = None,
+        default: Optional[str] = None,
+        virtual: Tuple[str, ...] = (),
+    ):
+        self.kind = kind
+        self.env_var = env_var
+        self.default = default
+        self.virtual = tuple(virtual)
+        self._entries: Dict[str, T] = {}
+        self._override: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, value: T | None = None):
+        """Register ``value`` under ``name``.
+
+        Usable directly (``registry.register("fcfs", factory)``) or as a
+        decorator (``@registry.register("fcfs")``).  Re-registering a
+        name replaces the entry, which is how tests install doubles.
+        """
+        key = name.strip().lower()
+        if value is None:
+
+            def decorator(fn: T) -> T:
+                self._entries[key] = fn
+                return fn
+
+            return decorator
+        self._entries[key] = value
+        return value
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered entry names, in registration order."""
+        return tuple(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def _unknown(self, requested: str) -> ConfigurationError:
+        choices = f"choose from {sorted(self._entries)}"
+        if self.virtual:
+            choices += " or " + "/".join(repr(v) for v in self.virtual)
+        return ConfigurationError(
+            f"unknown {self.kind} {requested!r}; {choices}"
+        )
+
+    def get(self, name: str) -> T:
+        """The registered value for ``name`` (never a virtual selector)."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise self._unknown(name) from None
+
+    # ------------------------------------------------------------------
+    # Selection chain
+    # ------------------------------------------------------------------
+
+    def resolve(self, name: Optional[str] = None) -> str:
+        """Resolve a request to a validated name.
+
+        Applies the explicit > override > environment > default chain
+        and validates the result against registered + virtual names.
+        Virtual names are returned as-is for the caller to interpret.
+        """
+        requested = name or self._override
+        if requested is None and self.env_var is not None:
+            requested = os.environ.get(self.env_var)
+        if requested is None:
+            requested = self.default
+        if requested is None:
+            raise ConfigurationError(f"no {self.kind} selected and no default")
+        requested = requested.strip().lower()
+        if requested not in self._entries and requested not in self.virtual:
+            raise self._unknown(requested)
+        return requested
+
+    @property
+    def override(self) -> Optional[str]:
+        """The active programmatic override, if any."""
+        return self._override
+
+    def set_override(self, name: Optional[str]) -> None:
+        """Select a name for the whole process (``None`` restores auto)."""
+        if name is not None:
+            self.resolve(name)  # validate eagerly
+        self._override = name
+
+    @contextmanager
+    def use(self, name: str):
+        """Temporarily select a name (primarily for tests/benchmarks)."""
+        previous = self._override
+        self.set_override(name)
+        try:
+            yield
+        finally:
+            self._override = previous

@@ -78,6 +78,14 @@ class Request:
     retries:
         Times the request re-entered a queue after a crash-requeue or a
         driver timeout (see :mod:`repro.faults`); 0 on the healthy path.
+    service_demand:
+        Work the request asks of a server, in units of the unit-cost
+        request (1.0 — the default — reproduces the paper's unit-cost
+        model exactly).  A rate-``C`` server takes ``demand / C`` seconds
+        to serve it, and work-bound admission counts it against the
+        ``C·δ`` budget.  Distinct from ``size``: ``size`` is the raw
+        trace byte count (round-tripped, never interpreted), while
+        ``service_demand`` is the cost model the shaping layer acts on.
     """
 
     arrival: float
@@ -91,10 +99,15 @@ class Request:
     dispatch: float | None = None
     completion: float | None = None
     retries: int = 0
+    service_demand: float = 1.0
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
             raise ValueError(f"arrival must be non-negative, got {self.arrival}")
+        if self.service_demand <= 0:
+            raise ValueError(
+                f"service_demand must be positive, got {self.service_demand}"
+            )
 
     @property
     def response_time(self) -> float:

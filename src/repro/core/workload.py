@@ -6,18 +6,45 @@ times (a batch of ``n`` requests at instant ``a`` appears ``n`` times),
 which is both the most convenient form for simulation and the natural form
 of real block traces.
 
+Workloads may additionally carry a columnar ``sizes`` array — one service
+demand per arrival, in units of the unit-cost request.  An unsized
+workload (the default, and the paper's model) is exactly equivalent to
+all-ones demands; every code path treats the two identically, bit for
+bit.  Sized workloads feed the work-based service model
+(:mod:`repro.server.constant_rate`) and work-bound admission
+(:mod:`repro.sched.classifier`).
+
 The class is immutable by convention: transformation methods (:meth:`shift`,
-:meth:`merge`, :meth:`window`, ...) return new instances.
+:meth:`merge`, :meth:`window`, ...) return new instances.  Each derived
+instance records the transformation in ``metadata["lineage"]`` so generator
+parameters and provenance survive into reports.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import WorkloadError
 from .request import IOKind, Request
+
+
+def _as_sizes(sizes, n: int) -> Optional[np.ndarray]:
+    """Validate and freeze a demand column (``None`` means unit sizes)."""
+    if sizes is None:
+        return None
+    array = np.ascontiguousarray(sizes, dtype=np.float64)
+    if array.ndim != 1:
+        raise WorkloadError(f"sizes must be 1-D, got shape {array.shape}")
+    if array.size != n:
+        raise WorkloadError(
+            f"sizes length {array.size} does not match {n} arrivals"
+        )
+    if array.size and array.min() <= 0:
+        raise WorkloadError("sizes must be positive")
+    array.flags.writeable = False
+    return array
 
 
 class Workload:
@@ -33,6 +60,11 @@ class Workload:
     metadata:
         Optional free-form dictionary (trace provenance, generator
         parameters, ...).  Shallow-copied on construction.
+    sizes:
+        Optional per-request service demands aligned with ``arrivals``
+        (positive, in units of the unit-cost request).  ``None`` — the
+        default — is the paper's unit-cost model and is treated
+        identically to an all-ones column everywhere.
     """
 
     def __init__(
@@ -40,6 +72,7 @@ class Workload:
         arrivals: Sequence[float] | np.ndarray,
         name: str = "workload",
         metadata: dict | None = None,
+        sizes: Sequence[float] | np.ndarray | None = None,
     ):
         array = np.asarray(arrivals, dtype=np.float64)
         if array.ndim != 1:
@@ -50,6 +83,7 @@ class Workload:
             raise WorkloadError("arrivals must be sorted non-decreasing")
         self._arrivals = array
         self._arrivals.flags.writeable = False
+        self._sizes = _as_sizes(sizes, array.size)
         self.name = name
         self.metadata = dict(metadata or {})
 
@@ -81,8 +115,15 @@ class Workload:
     def from_requests(
         cls, requests: Iterable[Request], name: str = "workload"
     ) -> "Workload":
-        """Build from an iterable of :class:`Request` (sorted by arrival)."""
-        return cls([r.arrival for r in requests], name=name)
+        """Build from an iterable of :class:`Request` (sorted by arrival).
+
+        Service demands are preserved: the result carries a ``sizes``
+        column iff any request's ``service_demand`` differs from 1.0.
+        """
+        materialized = list(requests)
+        demands = [r.service_demand for r in materialized]
+        sizes = demands if any(d != 1.0 for d in demands) else None
+        return cls([r.arrival for r in materialized], name=name, sizes=sizes)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -92,6 +133,47 @@ class Workload:
     def arrivals(self) -> np.ndarray:
         """The read-only array of per-request arrival times."""
         return self._arrivals
+
+    @property
+    def sizes(self) -> Optional[np.ndarray]:
+        """Per-request service demands, or ``None`` for unit sizes.
+
+        ``None`` (not an all-ones array) is the canonical unsized form so
+        the unit-cost fast paths stay allocation-free; use
+        :meth:`demands` when an array is needed unconditionally.
+        """
+        return self._sizes
+
+    @property
+    def has_sizes(self) -> bool:
+        """Whether the workload carries an explicit demand column."""
+        return self._sizes is not None
+
+    def demands(self) -> np.ndarray:
+        """The demand column, materializing ones for unsized workloads."""
+        if self._sizes is not None:
+            return self._sizes
+        return np.ones(len(self), dtype=np.float64)
+
+    @property
+    def total_work(self) -> float:
+        """Sum of service demands (equals ``len(self)`` when unsized)."""
+        if self._sizes is None:
+            return float(len(self))
+        return float(self._sizes.sum())
+
+    def with_sizes(
+        self, sizes: Sequence[float] | np.ndarray | None
+    ) -> "Workload":
+        """A copy carrying ``sizes`` as its demand column (``None`` clears)."""
+        return Workload(
+            self._arrivals,
+            name=self.name,
+            metadata=self._derived_metadata(
+                "with_sizes", sized=sizes is not None
+            ),
+            sizes=sizes,
+        )
 
     def __len__(self) -> int:
         return int(self._arrivals.size)
@@ -179,14 +261,41 @@ class Workload:
 
     def to_requests(self, client_id: int = 0) -> list[Request]:
         """Materialize one :class:`Request` per arrival, in order."""
+        if self._sizes is None:
+            return [
+                Request(
+                    arrival=float(t), index=i, client_id=client_id, kind=IOKind.READ
+                )
+                for i, t in enumerate(self._arrivals)
+            ]
         return [
-            Request(arrival=float(t), index=i, client_id=client_id, kind=IOKind.READ)
-            for i, t in enumerate(self._arrivals)
+            Request(
+                arrival=float(t),
+                index=i,
+                client_id=client_id,
+                kind=IOKind.READ,
+                service_demand=float(d),
+            )
+            for i, (t, d) in enumerate(zip(self._arrivals, self._sizes))
         ]
 
     # ------------------------------------------------------------------
     # Transformations (all return new Workload instances)
     # ------------------------------------------------------------------
+
+    def _derived_metadata(self, op: str, **params) -> dict:
+        """Source metadata plus one appended ``lineage`` entry.
+
+        The transformation chain accumulates in ``metadata["lineage"]`` —
+        a list of ``{"op": ..., **params}`` dicts, oldest first — so
+        generator parameters recorded by synthetic sources survive
+        shifts, windows, and merges into reports.
+        """
+        derived = dict(self.metadata)
+        lineage = list(derived.get("lineage", ()))
+        lineage.append({"op": op, **params})
+        derived["lineage"] = lineage
+        return derived
 
     def shift(self, offset: float, wrap: bool = False) -> "Workload":
         """Shift all arrivals later by ``offset`` seconds.
@@ -199,27 +308,69 @@ class Workload:
         if offset < 0:
             raise WorkloadError(f"offset must be non-negative, got {offset}")
         if not len(self) or offset == 0:
-            return Workload(self._arrivals, name=self.name, metadata=self.metadata)
+            return Workload(
+                self._arrivals,
+                name=self.name,
+                metadata=self.metadata,
+                sizes=self._sizes,
+            )
         if not wrap:
             return Workload(
                 self._arrivals + offset,
                 name=f"{self.name}+{offset:g}s",
-                metadata=self.metadata,
+                metadata=self._derived_metadata("shift", offset=offset, wrap=False),
+                sizes=self._sizes,
             )
         period = self.duration
         if period <= 0:
-            return Workload(self._arrivals, name=self.name, metadata=self.metadata)
-        shifted = np.sort(np.mod(self._arrivals + offset, period))
+            return Workload(
+                self._arrivals,
+                name=self.name,
+                metadata=self.metadata,
+                sizes=self._sizes,
+            )
+        wrapped = np.mod(self._arrivals + offset, period)
+        if self._sizes is None:
+            shifted = np.sort(wrapped)
+            sizes = None
+        else:
+            # Stable argsort keeps each demand glued to its arrival; for
+            # unsized workloads plain sort is bit-identical and cheaper.
+            order = np.argsort(wrapped, kind="stable")
+            shifted = wrapped[order]
+            sizes = self._sizes[order]
         return Workload(
-            shifted, name=f"{self.name}~{offset:g}s", metadata=self.metadata
+            shifted,
+            name=f"{self.name}~{offset:g}s",
+            metadata=self._derived_metadata("shift", offset=offset, wrap=True),
+            sizes=sizes,
         )
 
     def merge(self, *others: "Workload", name: str | None = None) -> "Workload":
-        """Superpose this workload with ``others`` (multiplexed stream)."""
-        parts = [self._arrivals] + [o._arrivals for o in others]
-        merged = np.sort(np.concatenate(parts))
-        label = name or "+".join([self.name] + [o.name for o in others])
-        return Workload(merged, name=label)
+        """Superpose this workload with ``others`` (multiplexed stream).
+
+        The merged metadata records every part's name and metadata under
+        a ``merge`` lineage entry, fixing the historical provenance loss
+        where merge dropped all source metadata.
+        """
+        parts = [self] + list(others)
+        arrays = [p._arrivals for p in parts]
+        concatenated = np.concatenate(arrays)
+        any_sized = any(p._sizes is not None for p in parts)
+        if any_sized:
+            demand_parts = [p.demands() for p in parts]
+            order = np.argsort(concatenated, kind="stable")
+            merged = concatenated[order]
+            sizes = np.concatenate(demand_parts)[order]
+        else:
+            merged = np.sort(concatenated)
+            sizes = None
+        label = name or "+".join(p.name for p in parts)
+        metadata = self._derived_metadata(
+            "merge",
+            parts=[{"name": p.name, "metadata": dict(p.metadata)} for p in parts],
+        )
+        return Workload(merged, name=label, metadata=metadata, sizes=sizes)
 
     def window(self, start: float, end: float) -> "Workload":
         """Restrict to arrivals in ``[start, end)``, re-based to time 0."""
@@ -229,7 +380,8 @@ class Workload:
         return Workload(
             self._arrivals[mask] - start,
             name=f"{self.name}[{start:g},{end:g})",
-            metadata=self.metadata,
+            metadata=self._derived_metadata("window", start=start, end=end),
+            sizes=None if self._sizes is None else self._sizes[mask],
         )
 
     def scale_rate(self, factor: float) -> "Workload":
@@ -243,12 +395,18 @@ class Workload:
         return Workload(
             self._arrivals / factor,
             name=f"{self.name}x{factor:g}",
-            metadata=self.metadata,
+            metadata=self._derived_metadata("scale_rate", factor=factor),
+            sizes=self._sizes,
         )
 
     def head(self, n: int) -> "Workload":
         """First ``n`` requests."""
-        return Workload(self._arrivals[:n], name=self.name, metadata=self.metadata)
+        return Workload(
+            self._arrivals[:n],
+            name=self.name,
+            metadata=self._derived_metadata("head", n=n),
+            sizes=None if self._sizes is None else self._sizes[:n],
+        )
 
     # ------------------------------------------------------------------
     # Summary
@@ -256,7 +414,7 @@ class Workload:
 
     def describe(self, bin_width: float = 0.1) -> dict:
         """Summary statistics dictionary (used by reports and examples)."""
-        return {
+        summary = {
             "name": self.name,
             "requests": len(self),
             "duration_s": self.duration,
@@ -264,3 +422,7 @@ class Workload:
             "peak_rate_iops": self.peak_rate(bin_width),
             "peak_to_mean": self.peak_to_mean(bin_width),
         }
+        if self._sizes is not None:
+            summary["total_work"] = self.total_work
+            summary["mean_demand"] = self.total_work / len(self) if len(self) else 0.0
+        return summary

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from ..analysis.reporting import ascii_series
 from ..core.capacity import CapacityPlanner
 from ..core.rtt import decompose
-from ..shaping import run_policy
+from ..shaping import RunConfig, run_policy
 from ..units import ms
 from .common import ExperimentConfig
 
@@ -70,7 +70,9 @@ def run(
     decomposition = decompose(workload, cmin, delta)
     primary = decomposition.primary_workload()
     run_result = run_policy(
-        workload, "miser", cmin, delta_c, delta, record_rates=bin_width
+        workload,
+        "miser",
+        config=RunConfig(cmin, delta_c, delta, record_rates=bin_width),
     )
     return Figure2Result(
         workload_name=workload.name,

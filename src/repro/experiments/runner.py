@@ -29,7 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from ..sim.rng import derive_seed
-from . import extensions, resilience, sensitivity, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
+from . import extensions, resilience, sensitivity, workbound, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
 from .common import ExperimentConfig
 
 #: Experiment registry: name -> (run, render) callables.
@@ -46,6 +46,7 @@ EXPERIMENTS = {
     "extensions": (extensions.run, extensions.render),
     "sensitivity": (sensitivity.run, sensitivity.render),
     "resilience": (resilience.run, resilience.render),
+    "workbound": (workbound.run, workbound.render),
 }
 
 #: Paper presentation order for "all" (extensions run only by name).
@@ -94,7 +95,7 @@ def _run_one(name: str, duration: float, seed_offset: int) -> tuple[str, str, fl
 def _run_metrics(args) -> int:
     """Instrumented single run: plan, simulate, export JSONL, summarize."""
     from ..obs import MetricsRegistry, summarize_file
-    from ..shaping import WorkloadShaper, run_policy
+    from ..shaping import RunConfig, WorkloadShaper, run_policy
     from ..units import ms
 
     config = _config_for(args.duration, args.seed_offset)
@@ -106,11 +107,13 @@ def _run_metrics(args) -> int:
     result = run_policy(
         workload,
         args.metrics_policy,
-        plan.cmin,
-        plan.delta_c,
-        delta,
-        metrics=registry,
-        sample_interval=args.metrics_interval,
+        config=RunConfig(
+            plan.cmin,
+            plan.delta_c,
+            delta,
+            metrics=registry,
+            sample_interval=args.metrics_interval,
+        ),
     )
     lines = result.telemetry.export(args.metrics)
     print(f"wrote {lines} JSONL lines to {args.metrics}")

@@ -26,6 +26,10 @@ Selection, highest priority first (mirroring ``REPRO_KERNEL``):
 3. the ``REPRO_ENGINE`` environment variable,
 4. ``auto``.
 
+The selection chain itself is one :class:`repro.core.registry.Registry`
+instance — the same helper behind the kernel backends and the scheduling
+policy factory — with ``auto`` declared as a virtual selector.
+
 Parity between the two engines is certified by
 :func:`repro.check.differential.engine_parity` (identical admitted sets,
 completion times within kernel EPS, conservation ledger agreement) and
@@ -34,24 +38,30 @@ fuzzed continuously by ``repro-check --differential``.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 
-from ..exceptions import ConfigurationError
+from ..core.registry import Registry
 
 #: Environment variable naming the engine ("scalar", "batch", or "auto").
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
-#: Engines that exist (``auto`` is a selection rule, not an engine).
-ENGINES = ("scalar", "batch")
+#: The selection registry (``auto`` is a selection rule, not an engine).
+REGISTRY: Registry[str] = Registry(
+    "execution engine",
+    env_var=ENGINE_ENV_VAR,
+    default="auto",
+    virtual=("auto",),
+)
+REGISTRY.register("scalar", "repro.sim.engine")
+REGISTRY.register("batch", "repro.sim.batch")
 
-#: Programmatic override; None defers to the environment / auto rule.
-_override: str | None = None
+#: Engines that exist (``auto`` is a selection rule, not an engine).
+ENGINES = REGISTRY.names()
 
 
 def available_engines() -> tuple[str, ...]:
     """Names of the execution engines usable in this environment."""
-    return ENGINES
+    return REGISTRY.names()
 
 
 def resolve_engine(name: str | None = None) -> str:
@@ -61,14 +71,7 @@ def resolve_engine(name: str | None = None) -> str:
     per-configuration decision made by the caller against
     :func:`repro.sim.batch.supports`, not a process-wide one.
     """
-    requested = name or _override or os.environ.get(ENGINE_ENV_VAR, "auto")
-    requested = requested.strip().lower()
-    if requested != "auto" and requested not in ENGINES:
-        raise ConfigurationError(
-            f"unknown execution engine {requested!r}; "
-            f"choose from {sorted(ENGINES)} or 'auto'"
-        )
-    return requested
+    return REGISTRY.resolve(name)
 
 
 def active_engine() -> str:
@@ -78,19 +81,11 @@ def active_engine() -> str:
 
 def set_engine(name: str | None) -> None:
     """Select an engine for the whole process (None restores auto)."""
-    global _override
-    if name is not None:
-        resolve_engine(name)  # validate eagerly
-    _override = name
+    REGISTRY.set_override(name)
 
 
 @contextmanager
 def use_engine(name: str):
     """Temporarily select an engine (primarily for tests/benchmarks)."""
-    global _override
-    previous = _override
-    set_engine(name)
-    try:
+    with REGISTRY.use(name):
         yield
-    finally:
-        _override = previous

@@ -30,13 +30,13 @@ as plain sequences or numpy arrays.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from ..core.registry import Registry
 from ..exceptions import ConfigurationError
 from . import native, scalar, vectorized
 
@@ -55,29 +55,39 @@ class KernelBackend:
     sweep: Callable
 
 
-_BACKENDS: dict[str, KernelBackend] = {
-    "scalar": KernelBackend(
+#: Backend registry: the shared override/environment selection chain
+#: (:class:`repro.core.registry.Registry`) with ``auto`` as a virtual
+#: selector interpreted by :func:`_resolve` below.
+REGISTRY: Registry[KernelBackend] = Registry(
+    "kernel backend", env_var=ENV_VAR, default="auto", virtual=("auto",)
+)
+REGISTRY.register(
+    "scalar",
+    KernelBackend(
         "scalar",
         scalar.count_admitted,
         scalar.admitted_per_batch,
         scalar.count_admitted_sweep,
     ),
-    "numpy": KernelBackend(
+)
+REGISTRY.register(
+    "numpy",
+    KernelBackend(
         "numpy",
         vectorized.count_admitted,
         vectorized.admitted_per_batch,
         vectorized.count_admitted_sweep,
     ),
-    "native": KernelBackend(
+)
+REGISTRY.register(
+    "native",
+    KernelBackend(
         "native",
         native.count_admitted,
         native.admitted_per_batch,
         native.count_admitted_sweep,
     ),
-}
-
-#: Programmatic override; None defers to the environment / auto rule.
-_override: str | None = None
+)
 
 #: ``auto`` dispatch crossover: below this many batches the scalar loop
 #: beats the numpy kernel (array allocation and safe-run compression
@@ -94,8 +104,7 @@ def available_backends() -> tuple[str, ...]:
 
 
 def _resolve(name: str | None = None, size: int | None = None) -> KernelBackend:
-    requested = name or _override or os.environ.get(ENV_VAR, "auto")
-    requested = requested.strip().lower()
+    requested = REGISTRY.resolve(name)
     if requested == "auto":
         if native.available():
             requested = "native"
@@ -103,13 +112,7 @@ def _resolve(name: str | None = None, size: int | None = None) -> KernelBackend:
             requested = "scalar"
         else:
             requested = "numpy"
-    try:
-        backend = _BACKENDS[requested]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown kernel backend {requested!r}; "
-            f"choose from {sorted(_BACKENDS)} or 'auto'"
-        ) from None
+    backend = REGISTRY.get(requested)
     if backend.name == "native" and not native.available():
         raise ConfigurationError(
             "native kernel backend requested but no working C compiler "
@@ -135,22 +138,20 @@ def dispatch_backend(size: int) -> str:
 
 def set_backend(name: str | None) -> None:
     """Select a backend for the whole process (None restores auto)."""
-    global _override
     if name is not None:
-        _resolve(name)  # validate eagerly
-    _override = name
+        _resolve(name)  # validate eagerly, incl. native availability
+    REGISTRY.set_override(name)
 
 
 @contextmanager
 def use_backend(name: str):
     """Temporarily select a backend (primarily for tests/benchmarks)."""
-    global _override
-    previous = _override
+    previous = REGISTRY.override
     set_backend(name)
     try:
         yield
     finally:
-        _override = previous
+        REGISTRY.set_override(previous)
 
 
 def _validate(capacity: float, delta: float) -> None:

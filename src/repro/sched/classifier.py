@@ -29,20 +29,41 @@ class OnlineRTTClassifier:
         necessarily the speed of the server behind the driver.
     delta:
         Primary-class response-time bound (seconds).
+    mode:
+        ``"count"`` (the paper's Algorithm 1: admit while the number of
+        outstanding Q1 requests is below ``floor(C * delta)``) or
+        ``"work"`` (the size-aware generalization: admit while the
+        outstanding Q1 *work* — the sum of admitted ``service_demand``
+        values — plus the candidate's demand fits in ``C * delta``).
+        The two coincide exactly on unit-demand workloads with integer
+        ``C * delta``; they diverge once demands are heterogeneous.
     """
 
-    def __init__(self, capacity: float, delta: float):
+    #: Admission modes accepted by the constructor.
+    MODES = ("count", "work")
+
+    def __init__(self, capacity: float, delta: float, mode: str = "count"):
         if capacity <= 0 or delta <= 0:
             raise ConfigurationError("capacity and delta must be positive")
+        if mode not in self.MODES:
+            raise ConfigurationError(
+                f"unknown admission mode {mode!r}; choose from {list(self.MODES)}"
+            )
         self.capacity = float(capacity)
         self.delta = float(delta)
+        self.mode = mode
         #: Queue bound in whole requests: occupancy never exceeds this.
         self.limit = math.floor(capacity * delta + 1e-9)
         #: The planned (healthy-server) bound; ``set_limit`` may shrink
         #: ``limit`` below this during degradation, never above it.
         self.planned_limit = self.limit
+        #: Work bound for ``mode="work"``: the raw (possibly fractional)
+        #: ``C * delta`` budget that outstanding Q1 demand must fit in.
+        self.work_limit = self.capacity * self.delta
         #: Primary requests outstanding (queued + in service).
         self.len_q1 = 0
+        #: Outstanding Q1 work (sum of admitted demands), ``mode="work"``.
+        self.work_q1 = 0.0
         self.n_primary = 0
         self.n_overflow = 0
 
@@ -67,17 +88,31 @@ class OnlineRTTClassifier:
     def classify(self, request: Request) -> QoSClass:
         """Assign the request to ``Q1`` or ``Q2`` (Algorithm 1).
 
-        Admits iff ``lenQ1 <= maxQ1 - 1``; increments ``lenQ1`` on
-        admission and stamps the request's deadline.
+        Admits iff ``lenQ1 <= maxQ1 - 1`` (count mode) or iff the
+        outstanding Q1 work plus this request's demand fits in ``C·δ``
+        (work mode); increments the occupancy ledgers on admission and
+        stamps the request's deadline.
         """
-        if self.len_q1 < self.limit:
+        if self._admits(request):
             self.len_q1 += 1
+            self.work_q1 += request.service_demand
             self.n_primary += 1
             request.classify(QoSClass.PRIMARY, delta=self.delta)
             return QoSClass.PRIMARY
         self.n_overflow += 1
         request.classify(QoSClass.OVERFLOW)
         return QoSClass.OVERFLOW
+
+    def _admits(self, request: Request) -> bool:
+        if self.mode == "work":
+            # Degradation (set_limit below planned) shrinks the work
+            # budget too; the 1e-9 epsilon mirrors the count-mode floor
+            # so a demand landing exactly on the boundary is admitted.
+            budget = (
+                float(self.limit) if self.limit < self.planned_limit else self.work_limit
+            )
+            return self.work_q1 + request.service_demand <= budget + 1e-9
+        return self.len_q1 < self.limit
 
     def on_completion(self, request: Request) -> None:
         """Release the request's ``Q1`` slot (departure decrement)."""
@@ -87,6 +122,7 @@ class OnlineRTTClassifier:
                     "Q1 occupancy underflow: completion without admission"
                 )
             self.len_q1 -= 1
+            self.work_q1 = max(0.0, self.work_q1 - request.service_demand)
 
     @property
     def fraction_primary(self) -> float:

@@ -2,11 +2,15 @@
 
 Central place mapping the paper's policy names ("fcfs", "split",
 "fairqueue", "miser") to the objects that implement them, so experiment
-and benchmark code can be written against policy names.
+and benchmark code can be written against policy names.  The name→factory
+mapping is a :class:`repro.core.registry.Registry` — the same helper
+behind the ``REPRO_KERNEL`` and ``REPRO_ENGINE`` switchboards — so tests
+can install policy doubles with ``REGISTRY.register``.
 """
 
 from __future__ import annotations
 
+from ..core.registry import Registry
 from ..exceptions import ConfigurationError
 from .base import Scheduler
 from .classifier import OnlineRTTClassifier
@@ -21,11 +25,68 @@ from .miser import MiserScheduler
 SINGLE_SERVER_POLICIES = ("fcfs", "fairqueue", "wf2q", "drr", "miser", "edf")
 ALL_POLICIES = SINGLE_SERVER_POLICIES + ("split",)
 
+def _classifier(cmin, delta, admission):
+    # Count mode uses the seed-era two-argument call so test doubles
+    # that replace ``OnlineRTTClassifier.__init__`` keep working.
+    if admission == "count":
+        return OnlineRTTClassifier(cmin, delta)
+    return OnlineRTTClassifier(cmin, delta, mode=admission)
+
+
+#: Scheduler factory registry.  Each entry maps a policy name to a
+#: callable ``(cmin, delta_c, delta, admission) -> Scheduler``.  No
+#: environment variable or default: policies are always named explicitly.
+REGISTRY: Registry = Registry("policy")
+
+
+@REGISTRY.register("fcfs")
+def _make_fcfs(cmin, delta_c, delta, admission):
+    return FCFSScheduler()
+
+
+@REGISTRY.register("fairqueue")
+def _make_fairqueue(cmin, delta_c, delta, admission):
+    classifier = _classifier(cmin, delta, admission)
+    return FairQueueScheduler(classifier, cmin, delta_c, variant="sfq")
+
+
+@REGISTRY.register("wf2q")
+def _make_wf2q(cmin, delta_c, delta, admission):
+    classifier = _classifier(cmin, delta, admission)
+    return FairQueueScheduler(classifier, cmin, delta_c, variant="wf2q")
+
+
+@REGISTRY.register("drr")
+def _make_drr(cmin, delta_c, delta, admission):
+    classifier = _classifier(cmin, delta, admission)
+    return DRRScheduler(classifier, cmin, delta_c)
+
+
+@REGISTRY.register("miser")
+def _make_miser(cmin, delta_c, delta, admission):
+    classifier = _classifier(cmin, delta, admission)
+    return MiserScheduler(classifier)
+
+
+@REGISTRY.register("edf")
+def _make_edf(cmin, delta_c, delta, admission):
+    classifier = _classifier(cmin, delta, admission)
+    return EDFScheduler(classifier, service_rate=cmin + delta_c)
+
 
 def make_scheduler(
-    policy: str, cmin: float, delta_c: float, delta: float
+    policy: str,
+    cmin: float,
+    delta_c: float,
+    delta: float,
+    admission: str = "count",
 ) -> Scheduler:
     """Build a single-server scheduler for ``policy``.
+
+    ``admission`` selects the classifier's admission mode: ``"count"``
+    (the paper's ``lenQ1 < floor(C·δ)`` bound) or ``"work"`` (cumulative
+    admitted :attr:`~repro.core.request.Request.service_demand` bounded
+    by ``C·δ``).  FCFS has no classifier, so the mode is a no-op there.
 
     Raises
     ------
@@ -33,25 +94,10 @@ def make_scheduler(
         For unknown policies, or for "split" (which needs two servers —
         use :class:`repro.server.cluster.SplitSystem`).
     """
-    if policy == "fcfs":
-        return FCFSScheduler()
-    if policy == "fairqueue":
-        classifier = OnlineRTTClassifier(cmin, delta)
-        return FairQueueScheduler(classifier, cmin, delta_c, variant="sfq")
-    if policy == "wf2q":
-        classifier = OnlineRTTClassifier(cmin, delta)
-        return FairQueueScheduler(classifier, cmin, delta_c, variant="wf2q")
-    if policy == "drr":
-        classifier = OnlineRTTClassifier(cmin, delta)
-        return DRRScheduler(classifier, cmin, delta_c)
-    if policy == "miser":
-        classifier = OnlineRTTClassifier(cmin, delta)
-        return MiserScheduler(classifier)
-    if policy == "edf":
-        classifier = OnlineRTTClassifier(cmin, delta)
-        return EDFScheduler(classifier, service_rate=cmin + delta_c)
     if policy == "split":
         raise ConfigurationError(
             "split is a two-server topology; use repro.server.cluster.SplitSystem"
         )
-    raise ConfigurationError(f"unknown policy {policy!r}; known: {ALL_POLICIES}")
+    if policy not in REGISTRY:
+        raise ConfigurationError(f"unknown policy {policy!r}; known: {ALL_POLICIES}")
+    return REGISTRY.get(policy)(cmin, delta_c, delta, admission)

@@ -58,6 +58,10 @@ class SplitSystem:
         Optional :class:`~repro.faults.retry.RetryPolicy` handed to both
         drivers (timeout/retry semantics as in
         :class:`~repro.server.driver.DeviceDriver`).
+    admission:
+        Classifier admission mode: ``"count"`` (the paper's bound) or
+        ``"work"`` (cumulative admitted demand bounded by ``C·δ``) — see
+        :class:`~repro.sched.classifier.OnlineRTTClassifier`.
     """
 
     def __init__(
@@ -69,13 +73,19 @@ class SplitSystem:
         metrics: MetricsRegistry | None = None,
         server_factory: Callable[[Simulator, float, str], Server] | None = None,
         retry=None,
+        admission: str = "count",
     ):
         if delta_c <= 0:
             raise ConfigurationError(
                 f"Split needs a positive overflow capacity, got {delta_c}"
             )
         self.sim = sim
-        self.classifier = OnlineRTTClassifier(cmin, delta)
+        # Count mode keeps the seed-era two-argument construction so test
+        # doubles that replace the classifier's __init__ keep working.
+        if admission == "count":
+            self.classifier = OnlineRTTClassifier(cmin, delta)
+        else:
+            self.classifier = OnlineRTTClassifier(cmin, delta, mode=admission)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         factory = server_factory if server_factory is not None else (
             lambda s, capacity, name: constant_rate_server(s, capacity, name)
@@ -144,6 +154,15 @@ class SplitSystem:
                 self.primary_driver.on_arrival(request)
             else:
                 self.overflow_driver.on_arrival(request)
+
+    def add_completion_hook(self, hook) -> None:
+        """Register ``hook(request)`` on both drivers.
+
+        Whichever server completes a request, the hook fires exactly once
+        — the observation point closed-loop sources need.
+        """
+        self.primary_driver.add_completion_hook(hook)
+        self.overflow_driver.add_completion_hook(hook)
 
     # ------------------------------------------------------------------
     # Aggregated views matching DeviceDriver's reporting surface

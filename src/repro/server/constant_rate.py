@@ -1,8 +1,12 @@
 """The paper's server model: a constant rate of ``C`` IOPS.
 
-Every request takes exactly ``1 / C`` seconds of service.  This is the
-model in which the theory (``maxQ1 = C * delta``, the SCL, RTT
-optimality) is exact, and the model used for all headline experiments.
+Every unit-demand request takes exactly ``1 / C`` seconds of service;
+a request carrying ``service_demand = d`` takes ``d / C``.  With the
+default demand of 1.0 this is the paper's unit-cost model — and because
+``1.0 * x == x`` in IEEE 754, the sized generalization is bit-identical
+to the historical behavior on unit workloads.  This is the model in
+which the theory (``maxQ1 = C * delta``, the SCL, RTT optimality) is
+exact, and the model used for all headline experiments.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ from .base import Server
 
 
 class ConstantRateModel:
-    """Service-time model with a fixed per-request duration ``1 / C``."""
+    """Service-time model with per-request duration ``demand / C``."""
 
     def __init__(self, capacity: float):
         if capacity <= 0:
@@ -23,7 +27,9 @@ class ConstantRateModel:
         self._service = 1.0 / self.capacity
 
     def service_time(self, request: Request) -> float:
-        return self._service
+        # 1.0 * x == x exactly, so unit-demand requests are served in
+        # precisely the historical self._service — bit parity preserved.
+        return request.service_demand * self._service
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ConstantRateModel({self.capacity:g} IOPS)"

@@ -88,6 +88,9 @@ class DeviceDriver:
         self.scheduler = scheduler
         server.on_completion = self._on_completion
         self.completed: list[Request] = []
+        #: External completion observers (closed-loop sources); see
+        #: :meth:`add_completion_hook`.
+        self._completion_hooks: list = []
         self.by_class = {
             QoSClass.PRIMARY: ResponseTimeCollector("Q1"),
             QoSClass.OVERFLOW: ResponseTimeCollector("Q2"),
@@ -144,6 +147,18 @@ class DeviceDriver:
         self.scheduler.on_arrival(request)
         self._try_dispatch()
 
+    def add_completion_hook(self, hook) -> None:
+        """Register ``hook(request)`` to run after every completion.
+
+        This is the observation point closed-loop sources
+        (:class:`repro.sim.source.ClosedLoopSource`) use to learn that a
+        user's request finished, so the user's next arrival can be
+        scheduled.  Hooks run after the driver's own accounting but
+        before the post-completion dispatch attempt, so an arrival a hook
+        schedules at the completion instant is ordered behind it.
+        """
+        self._completion_hooks.append(hook)
+
     def _try_dispatch(self) -> None:
         # Loop: a multi-unit server (ServerFarm) may have several idle
         # units to fill from the queue in one go.
@@ -174,6 +189,8 @@ class DeviceDriver:
                 self._m_misses.inc()
         if self.completion_rates is not None:
             self.completion_rates.record(self.sim.now)
+        for hook in self._completion_hooks:
+            hook(request)
         self._try_dispatch()
 
     # ------------------------------------------------------------------

@@ -22,9 +22,10 @@ True
 
 from __future__ import annotations
 
+import warnings
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .core.capacity import CapacityPlan, CapacityPlanner
 from .core.request import QoSClass
@@ -46,6 +47,65 @@ from .sim.stats import ResponseTimeCollector
 
 #: Planners kept strongly alive by a :class:`WorkloadShaper` (LRU).
 PLANNER_CACHE_SIZE = 8
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Complete configuration of one :func:`run_policy` simulation.
+
+    Consolidates what used to be a growing keyword surface (capacity
+    parameters, observability options, engine selection, and now the
+    admission mode) into one validated value that can be stored, hashed
+    into experiment manifests, and passed around whole:
+
+    >>> run_policy(workload, "split", config=RunConfig(3.0, 2.0, 0.5))
+
+    Attributes
+    ----------
+    cmin, delta_c, delta:
+        The capacity plan: decomposition capacity, overflow surplus, and
+        the primary-class response-time bound.
+    record_rates:
+        Completion-rate bin width in seconds (single-server only);
+        ``None`` disables rate recording.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` threaded
+        through driver and scheduler.
+    sample_interval:
+        Period of the standard probe sampler; ``None`` disables it.
+    engine:
+        Execution engine override ("scalar", "batch", "auto"); ``None``
+        defers to :mod:`repro.perf.engines`.
+    admission:
+        Classifier admission mode: ``"count"`` (the paper's
+        ``lenQ1 < floor(C·δ)``) or ``"work"`` (cumulative admitted
+        ``service_demand`` bounded by ``C·δ``).
+    """
+
+    cmin: float
+    delta_c: float
+    delta: float
+    record_rates: float | None = None
+    metrics: MetricsRegistry | None = None
+    sample_interval: float | None = None
+    engine: str | None = None
+    admission: str = "count"
+
+    def __post_init__(self) -> None:
+        if self.cmin <= 0 or self.delta_c < 0 or self.delta <= 0:
+            raise ConfigurationError(
+                f"bad configuration: cmin={self.cmin}, "
+                f"delta_c={self.delta_c}, delta={self.delta}"
+            )
+        if self.admission not in ("count", "work"):
+            raise ConfigurationError(
+                f"unknown admission mode {self.admission!r}; "
+                "choose from ['count', 'work']"
+            )
+
+    def with_engine(self, engine: str | None) -> "RunConfig":
+        """A copy selecting a different execution engine."""
+        return replace(self, engine=engine)
 
 
 @dataclass(frozen=True)
@@ -108,6 +168,8 @@ class PolicyRunResult:
     #: Execution engine that produced this result ("scalar" event loop
     #: or the "batch" columnar fast path — bit-identical samples).
     engine: str = "scalar"
+    #: Admission mode the classifier ran in ("count" or "work").
+    admission: str = "count"
 
     @property
     def total_capacity(self) -> float:
@@ -129,15 +191,23 @@ class PolicyRunResult:
 def run_policy(
     workload: Workload,
     policy: str,
-    cmin: float,
-    delta_c: float,
-    delta: float,
+    cmin: float | None = None,
+    delta_c: float | None = None,
+    delta: float | None = None,
     record_rates: float | None = None,
     metrics: MetricsRegistry | None = None,
     sample_interval: float | None = None,
     engine: str | None = None,
+    config: RunConfig | None = None,
 ) -> PolicyRunResult:
     """Simulate serving ``workload`` under ``policy`` and collect stats.
+
+    The preferred call shape is ``run_policy(workload, policy,
+    config=RunConfig(...))``; the flat ``cmin``/``delta_c``/``delta``
+    positional form is kept for compatibility, and the flat
+    observability/engine keywords (``record_rates``, ``metrics``,
+    ``sample_interval``, ``engine``) are a deprecated shim over the
+    equivalent :class:`RunConfig` fields.
 
     Capacity allocation follows Section 4.3: the total provisioned
     capacity is always ``cmin + delta_c``.  FCFS uses all of it on the
@@ -159,19 +229,55 @@ def run_policy(
     producing bit-identical samples either way (certified by
     :func:`repro.check.differential.engine_parity`).
     """
-    if cmin <= 0 or delta_c < 0 or delta <= 0:
-        raise ConfigurationError(
-            f"bad configuration: cmin={cmin}, delta_c={delta_c}, delta={delta}"
+    if config is not None:
+        flat = (cmin, delta_c, delta, record_rates, metrics, sample_interval, engine)
+        if any(value is not None for value in flat):
+            raise ConfigurationError(
+                "pass either config=RunConfig(...) or the flat keyword "
+                "arguments, not both"
+            )
+    else:
+        if cmin is None or delta_c is None or delta is None:
+            raise ConfigurationError(
+                "run_policy needs cmin, delta_c, and delta "
+                "(directly or via config=RunConfig(...))"
+            )
+        if any(
+            value is not None
+            for value in (record_rates, metrics, sample_interval, engine)
+        ):
+            warnings.warn(
+                "passing record_rates/metrics/sample_interval/engine directly "
+                "to run_policy is deprecated; use config=RunConfig(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        config = RunConfig(
+            cmin=cmin,
+            delta_c=delta_c,
+            delta=delta,
+            record_rates=record_rates,
+            metrics=metrics,
+            sample_interval=sample_interval,
+            engine=engine,
         )
-    requested = engines.resolve_engine(engine)
+    return _run_policy(workload, policy, config)
+
+
+def _run_policy(
+    workload: Workload, policy: str, config: RunConfig
+) -> PolicyRunResult:
+    cmin, delta_c, delta = config.cmin, config.delta_c, config.delta
+    requested = engines.resolve_engine(config.engine)
     if requested != "scalar":
         if policy != "split" and policy not in SINGLE_SERVER_POLICIES:
             raise ConfigurationError(f"unknown policy {policy!r}")
         eligible, reason = batch.supports(
             policy,
-            record_rates=record_rates,
-            metrics=metrics,
-            sample_interval=sample_interval,
+            record_rates=config.record_rates,
+            metrics=config.metrics,
+            sample_interval=config.sample_interval,
+            admission=config.admission,
         )
         if eligible:
             return _run_policy_batch(workload, policy, cmin, delta_c, delta)
@@ -180,17 +286,27 @@ def run_policy(
                 f"engine 'batch' cannot run this configuration: {reason} "
                 "(use engine='auto' to fall back to the event engine)"
             )
+    metrics = config.metrics
+    sample_interval = config.sample_interval
     sim = Simulator()
     if policy == "split":
-        if record_rates is not None:
+        if config.record_rates is not None:
             raise ConfigurationError("rate recording is single-server only")
-        system = SplitSystem(sim, cmin, delta_c, delta, metrics=metrics)
+        system = SplitSystem(
+            sim, cmin, delta_c, delta, metrics=metrics, admission=config.admission
+        )
         sink = system
     elif policy in SINGLE_SERVER_POLICIES:
-        scheduler = make_scheduler(policy, cmin, delta_c, delta)
+        scheduler = make_scheduler(
+            policy, cmin, delta_c, delta, admission=config.admission
+        )
         server = constant_rate_server(sim, cmin + delta_c, name=policy)
         system = DeviceDriver(
-            sim, server, scheduler, record_rates=record_rates, metrics=metrics
+            sim,
+            server,
+            scheduler,
+            record_rates=config.record_rates,
+            metrics=metrics,
         )
         sink = system
     else:
@@ -253,10 +369,11 @@ def run_policy(
         primary_misses=system.primary_deadline_misses(),
         completion_series=(
             system.completion_rates.series()
-            if record_rates is not None
+            if config.record_rates is not None
             else None
         ),
         telemetry=telemetry,
+        admission=config.admission,
     )
 
 
@@ -272,9 +389,12 @@ def _run_policy_batch(
     Delegates the dynamics to :func:`repro.sim.batch.run_batch` and
     repackages the response columns into the same collectors the scalar
     engine fills — in the same sample order, so downstream consumers
-    cannot tell the engines apart.
+    cannot tell the engines apart.  Sized workloads pass their demand
+    column straight through.
     """
-    run = batch.run_batch(workload.arrivals, policy, cmin, delta_c, delta)
+    run = batch.run_batch(
+        workload.arrivals, policy, cmin, delta_c, delta, demands=workload.sizes
+    )
     overall = ResponseTimeCollector("overall")
     overall.extend_array(run.overall)
     primary = ResponseTimeCollector("Q1")

@@ -28,7 +28,7 @@ from .events import (
     EventQueue,
 )
 from .rng import make_rng, spawn
-from .source import RequestSink, WorkloadSource
+from .source import ClosedLoopSource, RequestSink, WorkloadSource
 from .stats import OnlineStats, RateRecorder, ResponseTimeCollector
 from .trace_log import LifecycleEvent, LifecycleTracer, Phase
 
@@ -53,6 +53,7 @@ __all__ = [
     "spawn",
     "RequestSink",
     "WorkloadSource",
+    "ClosedLoopSource",
     "OnlineStats",
     "RateRecorder",
     "ResponseTimeCollector",

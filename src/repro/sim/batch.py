@@ -74,6 +74,7 @@ def supports(
     record_rates: float | None = None,
     metrics=None,
     sample_interval: float | None = None,
+    admission: str = "count",
 ) -> tuple[bool, str]:
     """Whether the batch engine can run this configuration, and why not.
 
@@ -83,6 +84,10 @@ def supports(
     event loop per-event, which the batch engine does not have).  The
     fault plane (crash injection, retry) never reaches ``run_policy``
     without a registry-bearing harness, so it is excluded transitively.
+    Sized workloads are eligible under count-bound admission (the
+    Lindley recurrences generalize to per-request demands); work-bound
+    admission tracks fractional outstanding work the ring-buffer test
+    cannot express, so it always takes the scalar engine.
     """
     if policy not in SUPPORTED_POLICIES:
         return False, f"policy {policy!r} does not reduce to a Lindley recurrence"
@@ -92,6 +97,8 @@ def supports(
         return False, "a metrics registry hooks per-event instrumentation"
     if sample_interval is not None:
         return False, "periodic samplers tick on the event loop"
+    if admission != "count":
+        return False, "work-bound admission needs the classifier's work ledger"
     return True, "eligible"
 
 
@@ -121,6 +128,22 @@ def _admission_limit(cmin: float, delta: float) -> int:
     return OnlineRTTClassifier(cmin, delta).limit
 
 
+def _check_demands(demands, n: int) -> np.ndarray | None:
+    """Validate an optional demand column (``None`` means unit demands)."""
+    if demands is None:
+        return None
+    demands = np.ascontiguousarray(demands, dtype=np.float64)
+    if demands.ndim != 1:
+        raise ConfigurationError("demands must be one-dimensional")
+    if demands.size != n:
+        raise ConfigurationError(
+            f"demands length {demands.size} does not match {n} arrivals"
+        )
+    if demands.size and float(demands.min()) <= 0.0:
+        raise ConfigurationError("demands must be positive")
+    return demands
+
+
 def _serve_chunk(chunk: list, service: float, finish: float) -> tuple[list, float]:
     """FCFS-serve one epoch of arrivals; returns (finish times, carry).
 
@@ -135,22 +158,48 @@ def _serve_chunk(chunk: list, service: float, finish: float) -> tuple[list, floa
     return out, finish
 
 
-def fcfs_completions(arrivals: np.ndarray, capacity: float) -> np.ndarray:
+def _serve_chunk_sized(
+    chunk: list, demands: list, service: float, finish: float
+) -> tuple[list, float]:
+    """Sized variant of :func:`_serve_chunk`: per-request ``d * (1/C)``.
+
+    ``d * service`` replays ``ConstantRateModel.service_time`` exactly
+    (the event engine computes ``request.service_demand * (1.0 / C)``),
+    so sized batch runs keep the bit-exactness contract too.
+    """
+    out = [0.0] * len(chunk)
+    for i, t in enumerate(chunk):
+        base = finish if finish > t else t
+        finish = base + demands[i] * service
+        out[i] = finish
+    return out, finish
+
+
+def fcfs_completions(
+    arrivals: np.ndarray, capacity: float, demands: np.ndarray | None = None
+) -> np.ndarray:
     """Completion instants of an FCFS constant-rate server (columnar).
 
     Bit-identical to running the arrivals through ``DeviceDriver`` +
     ``constant_rate_server`` on the scalar engine; completion order
     equals arrival order under FCFS, so index ``i`` is request ``i``.
+    ``demands`` optionally gives per-request service demands (``None``
+    is the unit-cost model).
     """
     if capacity <= 0:
         raise ConfigurationError(f"capacity must be positive, got {capacity}")
     arrivals = _check_arrivals(arrivals)
+    demands = _check_demands(demands, arrivals.size)
     service = 1.0 / float(capacity)
     completions = np.empty(arrivals.size, dtype=np.float64)
     finish = 0.0
     for start in range(0, arrivals.size, EPOCH):
         chunk = arrivals[start:start + EPOCH].tolist()
-        served, finish = _serve_chunk(chunk, service, finish)
+        if demands is None:
+            served, finish = _serve_chunk(chunk, service, finish)
+        else:
+            dchunk = demands[start:start + EPOCH].tolist()
+            served, finish = _serve_chunk_sized(chunk, dchunk, service, finish)
         completions[start:start + len(served)] = served
     return completions
 
@@ -172,7 +221,11 @@ class SplitColumns:
 
 
 def split_columns(
-    arrivals: np.ndarray, cmin: float, delta_c: float, delta: float
+    arrivals: np.ndarray,
+    cmin: float,
+    delta_c: float,
+    delta: float,
+    demands: np.ndarray | None = None,
 ) -> SplitColumns:
     """Columnar Split run: RTT admission + two dedicated FCFS servers.
 
@@ -181,13 +234,18 @@ def split_columns(
     ``floor(cmin * delta + 1e-9)``, where a ``Q1`` completion at the
     arrival's own instant has already released its slot (completions
     fire first at a tie).  Admitted requests are served FCFS at rate
-    ``cmin``, the rest FCFS at rate ``delta_c``.
+    ``cmin``, the rest FCFS at rate ``delta_c``.  ``demands`` gives
+    per-request service demands; the ring-buffer occupancy test stays
+    valid because ``Q1`` finishes remain strictly increasing for any
+    positive demands.  (Work-bound admission is scalar-only — see
+    :func:`supports`.)
     """
     if delta_c <= 0:
         raise ConfigurationError(
             f"Split needs a positive overflow capacity, got {delta_c}"
         )
     arrivals = _check_arrivals(arrivals)
+    demands = _check_demands(demands, arrivals.size)
     limit = _admission_limit(cmin, delta)
     s1 = 1.0 / float(cmin)
     n = arrivals.size
@@ -198,8 +256,11 @@ def split_columns(
         count = 0
         finish = 0.0
         pos = 0
+        dlist = None
         for start in range(0, n, EPOCH):
-            for t in arrivals[start:start + EPOCH].tolist():
+            if demands is not None:
+                dlist = demands[start:start + EPOCH].tolist()
+            for i, t in enumerate(arrivals[start:start + EPOCH].tolist()):
                 # Occupancy below the bound iff fewer than ``limit``
                 # admitted requests are still unfinished at ``t``: the
                 # finish ``limit`` positions back has cleared (<= t
@@ -207,14 +268,15 @@ def split_columns(
                 # t), or fewer than ``limit`` were ever admitted.
                 if count < limit or q1_fin[count - limit] <= t:
                     base = finish if finish > t else t
-                    finish = base + s1
+                    finish = base + s1 if dlist is None else base + dlist[i] * s1
                     append(finish)
                     count += 1
                     flags[pos] = 1
                 pos += 1
     admitted = np.frombuffer(bytes(flags), dtype=np.uint8).astype(bool)
     q1_completions = np.asarray(q1_fin, dtype=np.float64)
-    q2_completions = fcfs_completions(arrivals[~admitted], delta_c)
+    q2_demands = None if demands is None else demands[~admitted]
+    q2_completions = fcfs_completions(arrivals[~admitted], delta_c, q2_demands)
     return SplitColumns(
         admitted=admitted,
         q1_completions=q1_completions,
@@ -245,21 +307,33 @@ class BatchRun:
 
 
 def run_batch(
-    arrivals: np.ndarray, policy: str, cmin: float, delta_c: float, delta: float
+    arrivals: np.ndarray,
+    policy: str,
+    cmin: float,
+    delta_c: float,
+    delta: float,
+    demands: np.ndarray | None = None,
 ) -> BatchRun:
     """Run one eligible policy configuration on the batch engine.
 
     ``repro.shaping.run_policy`` calls this and repackages the arrays
     into its normal ``PolicyRunResult``; tests and benchmarks may call
-    it directly for array-level access.
+    it directly for array-level access.  ``demands`` optionally sizes
+    each request (``None`` is the unit-cost model).
     """
     if cmin <= 0 or delta_c < 0 or delta <= 0:
         raise ConfigurationError(
             f"bad configuration: cmin={cmin}, delta_c={delta_c}, delta={delta}"
         )
     arrivals = _check_arrivals(arrivals)
+    demands = _check_demands(demands, arrivals.size)
     if policy == "fcfs":
-        completions = fcfs_completions(arrivals, cmin + delta_c)
+        # Unit-demand runs use the seed-era call shapes so test doubles
+        # that replace the kernels keep working.
+        if demands is None:
+            completions = fcfs_completions(arrivals, cmin + delta_c)
+        else:
+            completions = fcfs_completions(arrivals, cmin + delta_c, demands)
         overall = completions - arrivals
         empty = np.empty(0, dtype=np.float64)
         return BatchRun(
@@ -271,7 +345,10 @@ def run_batch(
             admitted=np.zeros(arrivals.size, dtype=bool),
         )
     if policy == "split":
-        cols = split_columns(arrivals, cmin, delta_c, delta)
+        if demands is None:
+            cols = split_columns(arrivals, cmin, delta_c, delta)
+        else:
+            cols = split_columns(arrivals, cmin, delta_c, delta, demands)
         q1_arrivals = arrivals[cols.admitted]
         primary = cols.q1_completions - q1_arrivals
         overflow = cols.q2_completions - arrivals[~cols.admitted]

@@ -5,16 +5,30 @@ into a sink (normally a :class:`~repro.server.driver.DeviceDriver`),
 creating one :class:`~repro.core.request.Request` per arrival.  Arrivals
 are injected lazily — one pending event at a time — so memory stays O(1)
 in the trace length beyond the trace itself.
+
+:class:`ClosedLoopSource` is the other traffic shape: instead of
+replaying a pre-materialized arrival array (open loop), it models N users
+in think-time loops — each user submits a request, waits for its
+completion, thinks for an exponentially distributed pause, and submits
+again.  Arrival times therefore *depend on completions*, which is the
+defining property of closed-loop traffic: a slow server self-throttles
+its own arrival stream.  Completions are observed through the sink's
+``add_completion_hook`` callback registry
+(:meth:`repro.server.driver.DeviceDriver.add_completion_hook`).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Protocol
 
+import numpy as np
+
 from ..core.request import Request
 from ..core.workload import Workload
+from ..exceptions import ConfigurationError
 from .engine import Simulator
 from .events import PRIORITY_ARRIVAL
+from .rng import derive_seed, make_rng
 
 
 class RequestSink(Protocol):
@@ -24,7 +38,13 @@ class RequestSink(Protocol):
 
 
 class WorkloadSource:
-    """Replays a workload's arrivals into a sink at their trace instants."""
+    """Replays a workload's arrivals into a sink at their trace instants.
+
+    Sized workloads are honored: when the workload carries a ``sizes``
+    column, each materialized request gets the matching
+    ``service_demand``.  Unsized workloads produce the default demand of
+    1.0 — the identical requests this source always produced.
+    """
 
     def __init__(
         self,
@@ -40,6 +60,7 @@ class WorkloadSource:
         self.client_id = client_id
         self.on_request = on_request
         self._arrivals = workload.arrivals
+        self._sizes = workload.sizes
         self._next = 0
         self.requests: list[Request] = []
 
@@ -55,11 +76,19 @@ class WorkloadSource:
 
     def _fire(self) -> None:
         index = self._next
-        request = Request(
-            arrival=float(self._arrivals[index]),
-            index=index,
-            client_id=self.client_id,
-        )
+        if self._sizes is None:
+            request = Request(
+                arrival=float(self._arrivals[index]),
+                index=index,
+                client_id=self.client_id,
+            )
+        else:
+            request = Request(
+                arrival=float(self._arrivals[index]),
+                index=index,
+                client_id=self.client_id,
+                service_demand=float(self._sizes[index]),
+            )
         self.requests.append(request)
         self._next += 1
         # Schedule the next arrival *before* delivering this one so a sink
@@ -72,3 +101,114 @@ class WorkloadSource:
     @property
     def exhausted(self) -> bool:
         return self._next >= self._arrivals.size
+
+
+class ClosedLoopSource:
+    """N users in think-time loops: the next arrival waits for completion.
+
+    Each user ``u`` runs an independent cycle seeded by
+    ``derive_seed(seed, "closed-loop", u)`` so populations are
+    reproducible per-user regardless of interleaving (and regardless of
+    how many worker processes share the simulation batch):
+
+    1. think for ``Exp(think_time)`` seconds,
+    2. submit one request (``client_id = u``),
+    3. block until the sink reports that request complete,
+    4. go to 1.
+
+    Submission stops at ``horizon``: a think pause that would land past
+    it retires the user.  Because step 3 observes the *sink's* completion
+    callback, arrival order genuinely depends on service order — the
+    closed-loop property the open-loop :class:`WorkloadSource` cannot
+    express.  A request the sink drops without completing (fault shedding)
+    permanently idles its user, mirroring a real user stuck waiting.
+
+    Parameters
+    ----------
+    demand_sampler:
+        Optional ``(rng) -> float`` drawing a positive service demand per
+        request; ``None`` issues unit-demand requests.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink: RequestSink,
+        n_users: int,
+        think_time: float,
+        horizon: float,
+        seed: int = 0,
+        demand_sampler: Callable[[np.random.Generator], float] | None = None,
+        on_request: Callable[[Request], None] | None = None,
+    ):
+        if n_users <= 0:
+            raise ConfigurationError(f"n_users must be positive, got {n_users}")
+        if think_time <= 0:
+            raise ConfigurationError(
+                f"think_time must be positive, got {think_time}"
+            )
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        add_hook = getattr(sink, "add_completion_hook", None)
+        if add_hook is None:
+            raise ConfigurationError(
+                "closed-loop traffic needs a sink with add_completion_hook "
+                "(DeviceDriver or SplitSystem)"
+            )
+        self.sim = sim
+        self.sink = sink
+        self.n_users = int(n_users)
+        self.think_time = float(think_time)
+        self.horizon = float(horizon)
+        self.seed = seed
+        self.demand_sampler = demand_sampler
+        self.on_request = on_request
+        self._rngs = [
+            make_rng(derive_seed(seed, "closed-loop", u)) for u in range(n_users)
+        ]
+        self._inflight: dict[int, int] = {}  # request index -> user
+        self._next_index = 0
+        self.requests: list[Request] = []
+        add_hook(self._on_completion)
+
+    def start(self) -> None:
+        """Arm every user's first arrival; call before ``sim.run()``."""
+        for user in range(self.n_users):
+            self._schedule_user(user, now=0.0)
+
+    def _schedule_user(self, user: int, now: float) -> None:
+        think = self._rngs[user].exponential(self.think_time)
+        t = now + think
+        if t >= self.horizon:
+            return
+        self.sim.schedule(
+            t, lambda u=user, at=t: self._submit(u, at), priority=PRIORITY_ARRIVAL
+        )
+
+    def _submit(self, user: int, at: float) -> None:
+        demand = 1.0
+        if self.demand_sampler is not None:
+            demand = float(self.demand_sampler(self._rngs[user]))
+        request = Request(
+            arrival=at,
+            index=self._next_index,
+            client_id=user,
+            service_demand=demand,
+        )
+        self._next_index += 1
+        self._inflight[request.index] = user
+        self.requests.append(request)
+        if self.on_request is not None:
+            self.on_request(request)
+        self.sink.on_arrival(request)
+
+    def _on_completion(self, request: Request) -> None:
+        user = self._inflight.pop(request.index, None)
+        if user is None:
+            return  # not ours (mixed open/closed traffic) or a replay
+        self._schedule_user(user, now=float(request.completion))
+
+    @property
+    def inflight(self) -> int:
+        """Requests submitted and not yet completed."""
+        return len(self._inflight)

@@ -220,7 +220,7 @@ class TestAutoDispatchCrossover:
         from repro.perf import kernels, native
 
         monkeypatch.delenv(ENV_VAR, raising=False)
-        monkeypatch.setattr(kernels, "_override", None)
+        monkeypatch.setattr(kernels.REGISTRY, "_override", None)
         monkeypatch.setattr(native, "available", lambda: False)
 
     def test_small_inputs_dispatch_to_scalar(self):

@@ -1,0 +1,110 @@
+"""Tests for workload transformation lineage (metadata provenance)."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import Workload
+
+
+@pytest.fixture
+def base():
+    return Workload(
+        np.array([0.5, 1.0, 2.0, 3.5]),
+        name="base",
+        metadata={"origin": "synthetic"},
+    )
+
+
+def ops(workload):
+    return [entry["op"] for entry in workload.metadata.get("lineage", [])]
+
+
+class TestLineageRecording:
+    def test_shift_records_offset_and_wrap(self, base):
+        shifted = base.shift(1.0)
+        assert shifted.metadata["lineage"] == [
+            {"op": "shift", "offset": 1.0, "wrap": False}
+        ]
+        wrapped = base.shift(1.0, wrap=True)
+        assert wrapped.metadata["lineage"][-1]["wrap"] is True
+
+    def test_window_scale_head(self, base):
+        assert ops(base.window(0.0, 2.0)) == ["window"]
+        assert ops(base.scale_rate(2.0)) == ["scale_rate"]
+        assert ops(base.head(2)) == ["head"]
+        entry = base.window(1.0, 3.0).metadata["lineage"][0]
+        assert entry == {"op": "window", "start": 1.0, "end": 3.0}
+
+    def test_with_sizes_records(self, base):
+        sized = base.with_sizes(np.ones(4) * 2.0)
+        assert sized.metadata["lineage"] == [{"op": "with_sizes", "sized": True}]
+        cleared = sized.with_sizes(None)
+        assert ops(cleared) == ["with_sizes", "with_sizes"]
+        assert cleared.metadata["lineage"][-1]["sized"] is False
+
+    def test_chain_accumulates_in_order(self, base):
+        derived = base.shift(1.0).window(0.0, 10.0).scale_rate(2.0).head(3)
+        assert ops(derived) == ["shift", "window", "scale_rate", "head"]
+        # Source metadata survives the whole chain.
+        assert derived.metadata["origin"] == "synthetic"
+
+    def test_merge_records_every_part(self, base):
+        other = Workload([0.2, 4.0], name="other", metadata={"origin": "trace"})
+        merged = base.merge(other)
+        entry = merged.metadata["lineage"][-1]
+        assert entry["op"] == "merge"
+        names = [part["name"] for part in entry["parts"]]
+        assert names == ["base", "other"]
+        # The historical provenance loss: merge now keeps each part's
+        # metadata instead of dropping it.
+        assert entry["parts"][1]["metadata"]["origin"] == "trace"
+
+    def test_lineage_does_not_leak_into_source(self, base):
+        base.shift(1.0)
+        base.merge(Workload([9.0], name="x"))
+        assert "lineage" not in base.metadata
+
+
+class TestSizesThroughTransforms:
+    @pytest.fixture
+    def sized(self):
+        return Workload(
+            np.array([0.5, 1.0, 2.0, 3.5]),
+            name="sized",
+            sizes=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+
+    def test_window_filters_sizes_with_arrivals(self, sized):
+        cut = sized.window(0.75, 2.5)
+        assert np.array_equal(cut.arrivals, [0.25, 1.25])
+        assert np.array_equal(cut.sizes, [2.0, 3.0])
+
+    def test_head_truncates_sizes(self, sized):
+        assert np.array_equal(sized.head(2).sizes, [1.0, 2.0])
+
+    def test_scale_rate_keeps_sizes(self, sized):
+        assert np.array_equal(sized.scale_rate(2.0).sizes, sized.sizes)
+
+    def test_shift_wrap_keeps_size_alignment(self, sized):
+        wrapped = sized.shift(1.0, wrap=True)
+        pairs = dict(zip(np.round(wrapped.arrivals, 9), wrapped.sizes))
+        duration = sized.duration
+        expected = {
+            round((t + 1.0) % duration, 9): s
+            for t, s in zip(sized.arrivals, sized.sizes)
+        }
+        assert pairs == expected
+
+    def test_merge_aligns_mixed_sizes(self, sized):
+        unsized = Workload([0.1, 1.5], name="plain")
+        merged = sized.merge(unsized)
+        assert merged.has_sizes
+        order = np.argsort(np.concatenate([sized.arrivals, unsized.arrivals]),
+                           kind="stable")
+        expected = np.concatenate([sized.sizes, [1.0, 1.0]])[order]
+        assert np.array_equal(merged.sizes, expected)
+
+    def test_merge_of_unsized_stays_unsized(self, base=None):
+        a = Workload([1.0, 2.0], name="a")
+        b = Workload([1.5], name="b")
+        assert a.merge(b).sizes is None

@@ -14,7 +14,7 @@ from repro.experiments import (
     figure8,
     table1,
 )
-from repro.experiments import extensions, resilience, sensitivity
+from repro.experiments import extensions, resilience, sensitivity, workbound
 from repro.experiments.runner import ORDER, main
 
 #: Small scale: fast but still structurally meaningful.
@@ -375,3 +375,35 @@ class TestVerify:
     def test_cli_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["figure99"])
+
+
+class TestWorkbound:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return workbound.run(config)
+
+    def test_registered_but_not_in_order(self):
+        assert "workbound" in EXPERIMENTS
+        assert "workbound" not in ORDER
+
+    def test_all_cells_conserve(self, result):
+        assert len(result.cells) == len(workbound.POLICIES) * 2
+        for cell in result.cells:
+            assert cell.conserved
+            assert cell.q1_completed + cell.q2_completed == result.n_requests
+
+    def test_count_and_work_diverge(self, result):
+        by_policy = {}
+        for cell in result.cells:
+            by_policy.setdefault(cell.policy, {})[cell.admission] = cell
+        for modes in by_policy.values():
+            assert modes["count"].q1_completed != modes["work"].q1_completed
+
+    def test_workload_is_genuinely_sized(self, result):
+        # The bimodal mix must show up as mean demand above unit cost.
+        assert result.mean_demand > 1.0
+        assert result.total_work > result.n_requests
+
+    def test_render(self, result):
+        text = workbound.render(result)
+        assert "work-bound" in text and "conserved" in text

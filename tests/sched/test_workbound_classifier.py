@@ -1,0 +1,93 @@
+"""Tests for the classifier's work-bound admission mode."""
+
+import pytest
+
+from repro.core.request import QoSClass, Request
+from repro.exceptions import ConfigurationError
+from repro.sched.classifier import OnlineRTTClassifier
+
+
+def req(index, demand=1.0, arrival=0.0):
+    return Request(arrival=arrival, index=index, service_demand=demand)
+
+
+class TestWorkMode:
+    def test_admits_while_work_fits(self):
+        # C*delta = 3.0 of work budget.
+        clf = OnlineRTTClassifier(6.0, 0.5, mode="work")
+        assert clf.classify(req(0, demand=2.0)) is QoSClass.PRIMARY
+        assert clf.classify(req(1, demand=1.0)) is QoSClass.PRIMARY
+        assert clf.classify(req(2, demand=0.5)) is QoSClass.OVERFLOW
+        assert clf.work_q1 == pytest.approx(3.0)
+        assert clf.len_q1 == 2
+
+    def test_boundary_demand_admitted(self):
+        clf = OnlineRTTClassifier(6.0, 0.5, mode="work")
+        assert clf.classify(req(0, demand=3.0)) is QoSClass.PRIMARY
+
+    def test_one_long_job_fills_the_budget(self):
+        # Count mode would admit floor(3.0) = 3 of these; work mode sees
+        # a single 2.5-unit job leaves no room for another.
+        clf = OnlineRTTClassifier(6.0, 0.5, mode="work")
+        assert clf.classify(req(0, demand=2.5)) is QoSClass.PRIMARY
+        assert clf.classify(req(1, demand=2.5)) is QoSClass.OVERFLOW
+
+    def test_completion_releases_work(self):
+        clf = OnlineRTTClassifier(6.0, 0.5, mode="work")
+        first = req(0, demand=3.0)
+        clf.classify(first)
+        blocked = req(1, demand=1.0)
+        assert clf.classify(blocked) is QoSClass.OVERFLOW
+        clf.on_completion(first)
+        assert clf.work_q1 == pytest.approx(0.0)
+        assert clf.classify(req(2, demand=1.0)) is QoSClass.PRIMARY
+
+    def test_overflow_completion_releases_nothing(self):
+        clf = OnlineRTTClassifier(2.0, 0.5, mode="work")
+        clf.classify(req(0, demand=1.0))
+        shed = req(1, demand=5.0)
+        clf.classify(shed)
+        assert shed.qos_class is QoSClass.OVERFLOW
+        clf.on_completion(shed)
+        assert clf.work_q1 == pytest.approx(1.0)
+        assert clf.len_q1 == 1
+
+    def test_fractional_budget_usable(self):
+        # C*delta = 1.625: count mode floors to 1 whole slot; work mode
+        # packs fractional demands into the raw budget.
+        clf = OnlineRTTClassifier(3.25, 0.5, mode="work")
+        assert clf.limit == 1
+        assert clf.classify(req(0, demand=0.8)) is QoSClass.PRIMARY
+        assert clf.classify(req(1, demand=0.8)) is QoSClass.PRIMARY
+        assert clf.classify(req(2, demand=0.8)) is QoSClass.OVERFLOW
+
+    def test_degraded_limit_shrinks_work_budget(self):
+        clf = OnlineRTTClassifier(6.0, 0.5, mode="work")
+        clf.set_limit(1)
+        assert clf.classify(req(0, demand=1.0)) is QoSClass.PRIMARY
+        assert clf.classify(req(1, demand=0.5)) is QoSClass.OVERFLOW
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown admission mode"):
+            OnlineRTTClassifier(6.0, 0.5, mode="bytes")
+
+
+class TestCountModeUnchanged:
+    def test_default_mode_is_count(self):
+        clf = OnlineRTTClassifier(6.0, 0.5)
+        assert clf.mode == "count"
+
+    def test_count_mode_ignores_demands(self):
+        # The seed behavior: three unit slots regardless of size.
+        clf = OnlineRTTClassifier(6.0, 0.5)
+        for i in range(3):
+            assert clf.classify(req(i, demand=100.0)) is QoSClass.PRIMARY
+        assert clf.classify(req(3, demand=0.001)) is QoSClass.OVERFLOW
+
+    def test_equivalent_on_unit_demands(self):
+        count = OnlineRTTClassifier(6.0, 0.5)
+        work = OnlineRTTClassifier(6.0, 0.5, mode="work")
+        outcomes = [
+            (count.classify(req(i)), work.classify(req(i))) for i in range(5)
+        ]
+        assert all(a is b for a, b in outcomes)

@@ -80,7 +80,7 @@ class TestEngineSelection:
     @pytest.fixture(autouse=True)
     def _clean_registry(self, monkeypatch):
         monkeypatch.delenv(engines.ENGINE_ENV_VAR, raising=False)
-        monkeypatch.setattr(engines, "_override", None)
+        monkeypatch.setattr(engines.REGISTRY, "_override", None)
 
     def test_defaults_to_auto(self):
         assert engines.active_engine() == "auto"

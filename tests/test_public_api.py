@@ -14,7 +14,8 @@ PUBLIC_API = {
         "Workload", "WorkloadShaper", "run_policy", "GraduatedSLA",
         "CapacityPlanner", "CapacityPlan", "consolidate",
         "self_consolidation", "decompose", "decompose_fluid",
-        "SharedServer", "Tenant", "PolicyRunResult", "ShapingOutcome",
+        "SharedServer", "Tenant", "PolicyRunResult", "RunConfig",
+        "ShapingOutcome",
         "ReproError", "__version__",
     ],
     "repro.core": [
@@ -49,6 +50,7 @@ PUBLIC_API = {
     ],
     "repro.sim": [
         "Simulator", "Event", "EventQueue", "WorkloadSource",
+        "ClosedLoopSource",
         "OnlineStats", "RateRecorder", "ResponseTimeCollector",
         "LifecycleTracer", "Phase", "make_rng", "spawn",
         "BatchRun", "SplitColumns", "StreamSummary", "run_batch",
@@ -81,9 +83,16 @@ PUBLIC_API = {
         "study", "packing_count", "format_table", "ascii_series",
         "ascii_cdf", "ascii_bars", "write_dat", "export_figure4",
     ],
+    "repro.workload": [
+        "UserPopulation", "poisson_poisson_workload", "attach_demands",
+        "ConstantDemand", "ExponentialDemand", "LognormalDemand",
+        "BimodalDemand", "ClosedLoopResult", "run_closed_loop",
+    ],
+    "repro.core.registry": ["Registry"],
     "repro.experiments": [
         "table1", "figure2", "figure3", "figure4", "figure5", "figure6",
         "figure7", "figure8", "extensions", "sensitivity", "resilience",
+        "workbound",
         "ExperimentConfig", "EXPERIMENTS", "run_experiment",
         "PAPER_DELTAS", "PAPER_FRACTIONS", "PAPER_WORKLOADS",
     ],

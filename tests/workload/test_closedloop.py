@@ -1,0 +1,155 @@
+"""Tests for closed-loop traffic: arrivals depend on completions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.server.constant_rate import constant_rate_server
+from repro.server.driver import DeviceDriver
+from repro.sched.registry import make_scheduler
+from repro.shaping import RunConfig
+from repro.sim.engine import Simulator
+from repro.sim.source import ClosedLoopSource
+from repro.workload import ConstantDemand, run_closed_loop
+
+
+def _fcfs_system(sim, rate):
+    scheduler = make_scheduler("fcfs", rate, 0.0, 0.5)
+    server = constant_rate_server(sim, rate, name="fcfs")
+    return DeviceDriver(sim, server, scheduler)
+
+
+def _run_source(rate, n_users=4, think_time=0.5, horizon=30.0, seed=3):
+    sim = Simulator()
+    driver = _fcfs_system(sim, rate)
+    source = ClosedLoopSource(
+        sim, driver, n_users=n_users, think_time=think_time,
+        horizon=horizon, seed=seed,
+    )
+    source.start()
+    sim.run()
+    return source, driver
+
+
+class TestClosedLoopSource:
+    def test_arrival_waits_for_completion_per_user(self):
+        source, _ = _run_source(rate=2.0)
+        by_user = {}
+        for request in source.requests:
+            by_user.setdefault(request.client_id, []).append(request)
+        for requests in by_user.values():
+            for prev, nxt in zip(requests, requests[1:]):
+                assert prev.completion is not None
+                assert nxt.arrival >= prev.completion
+
+    def test_slow_server_self_throttles(self):
+        # The defining closed-loop property: the same population offers
+        # *fewer* requests to a slower server, because each user's next
+        # arrival waits on service.
+        fast, _ = _run_source(rate=50.0)
+        slow, _ = _run_source(rate=1.0)
+        assert len(slow.requests) < len(fast.requests)
+
+    def test_all_submissions_complete_and_inflight_drains(self):
+        source, driver = _run_source(rate=5.0)
+        assert source.inflight == 0
+        assert len(driver.completed) == len(source.requests)
+
+    def test_deterministic_by_seed(self):
+        a, _ = _run_source(rate=3.0, seed=11)
+        b, _ = _run_source(rate=3.0, seed=11)
+        c, _ = _run_source(rate=3.0, seed=12)
+        assert [r.arrival for r in a.requests] == [r.arrival for r in b.requests]
+        assert [r.arrival for r in a.requests] != [r.arrival for r in c.requests]
+
+    def test_horizon_retires_users(self):
+        source, _ = _run_source(rate=5.0, horizon=10.0)
+        assert all(r.arrival < 10.0 for r in source.requests)
+
+    def test_requires_completion_hooks(self):
+        class NoHooks:
+            def on_arrival(self, request):  # pragma: no cover
+                pass
+
+        with pytest.raises(ConfigurationError, match="add_completion_hook"):
+            ClosedLoopSource(
+                Simulator(), NoHooks(), n_users=1, think_time=1.0, horizon=1.0
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 0, "think_time": 1.0, "horizon": 1.0},
+            {"n_users": 2, "think_time": 0.0, "horizon": 1.0},
+            {"n_users": 2, "think_time": 1.0, "horizon": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        sim = Simulator()
+        driver = _fcfs_system(sim, 1.0)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopSource(sim, driver, **kwargs)
+
+
+class TestRunClosedLoop:
+    CONFIG = RunConfig(4.0, 2.0, 0.5)
+
+    @pytest.mark.parametrize("policy", ["split", "miser", "fcfs"])
+    def test_conserves_across_policies(self, policy):
+        result = run_closed_loop(
+            policy, self.CONFIG, n_users=6, think_time=0.4,
+            horizon=20.0, seed=2,
+        )
+        assert result.conserved()
+        assert result.ledger["completed"] == len(result.submitted)
+        assert result.throughput == pytest.approx(
+            len(result.submitted) / 20.0
+        )
+
+    def test_deterministic(self):
+        a = run_closed_loop(
+            "split", self.CONFIG, n_users=5, think_time=0.3, horizon=15.0, seed=9
+        )
+        b = run_closed_loop(
+            "split", self.CONFIG, n_users=5, think_time=0.3, horizon=15.0, seed=9
+        )
+        assert np.array_equal(a.overall.samples, b.overall.samples)
+        assert [r.arrival for r in a.submitted] == [r.arrival for r in b.submitted]
+
+    def test_demand_sampler_sizes_requests(self):
+        result = run_closed_loop(
+            "split", self.CONFIG, n_users=4, think_time=0.4,
+            horizon=15.0, seed=1, demand_sampler=ConstantDemand(2.0),
+        )
+        assert result.submitted
+        assert all(r.service_demand == 2.0 for r in result.submitted)
+
+    def test_work_admission_accepted(self):
+        config = RunConfig(4.0, 2.0, 0.5, admission="work")
+        result = run_closed_loop(
+            "split", config, n_users=4, think_time=0.4,
+            horizon=15.0, seed=1, demand_sampler=ConstantDemand(0.5),
+        )
+        assert result.conserved()
+
+    def test_observed_workload_round_trips(self):
+        result = run_closed_loop(
+            "miser", self.CONFIG, n_users=4, think_time=0.4,
+            horizon=15.0, seed=6,
+        )
+        observed = result.observed_workload()
+        assert len(observed) == len(result.submitted)
+        assert np.all(np.diff(observed.arrivals) >= 0)
+
+    def test_rejects_observability_config(self):
+        config = RunConfig(4.0, 2.0, 0.5, sample_interval=0.1)
+        with pytest.raises(ConfigurationError, match="observability"):
+            run_closed_loop(
+                "split", config, n_users=2, think_time=1.0, horizon=5.0
+            )
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            run_closed_loop(
+                "nope", self.CONFIG, n_users=2, think_time=1.0, horizon=5.0
+            )

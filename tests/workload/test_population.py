@@ -1,0 +1,136 @@
+"""Tests for the poisson-poisson user-population generator."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.rng import derive_seed
+from repro.workload import (
+    BimodalDemand,
+    UserPopulation,
+    poisson_poisson_workload,
+)
+
+POP = UserPopulation(mean_users=12.0, requests_per_minute=60.0, window=10.0)
+
+
+def _arrivals_in_worker(seed: int) -> np.ndarray:
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    return poisson_poisson_workload(POP, duration=40.0, seed=seed).arrivals
+
+
+def _derived_in_worker(args) -> int:
+    base, keys = args
+    return derive_seed(base, *keys)
+
+
+class TestUserPopulation:
+    def test_mean_rate(self):
+        pop = UserPopulation(mean_users=30.0, requests_per_minute=120.0)
+        assert pop.mean_rate == pytest.approx(60.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_users": 0.0, "requests_per_minute": 1.0},
+            {"mean_users": -1.0, "requests_per_minute": 1.0},
+            {"mean_users": 1.0, "requests_per_minute": 0.0},
+            {"mean_users": 1.0, "requests_per_minute": 1.0, "window": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            UserPopulation(**kwargs)
+
+
+class TestPoissonPoisson:
+    def test_arrivals_sorted_and_bounded(self):
+        workload = poisson_poisson_workload(POP, duration=35.0, seed=3)
+        arrivals = workload.arrivals
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.size == 0 or (
+            arrivals[0] >= 0.0 and arrivals[-1] < 35.0
+        )
+
+    def test_same_seed_reproduces_bitwise(self):
+        a = poisson_poisson_workload(POP, duration=40.0, seed=7)
+        b = poisson_poisson_workload(POP, duration=40.0, seed=7)
+        assert np.array_equal(a.arrivals, b.arrivals)
+        assert a.metadata["users_per_window"] == b.metadata["users_per_window"]
+
+    def test_different_seeds_differ(self):
+        a = poisson_poisson_workload(POP, duration=40.0, seed=7)
+        b = poisson_poisson_workload(POP, duration=40.0, seed=8)
+        assert not np.array_equal(a.arrivals, b.arrivals)
+
+    def test_windows_are_independent_streams(self):
+        # Window w only draws from derive_seed(seed, "population", w), so
+        # a longer run's prefix is bit-identical to a shorter run.
+        short = poisson_poisson_workload(POP, duration=20.0, seed=5)
+        long = poisson_poisson_workload(POP, duration=40.0, seed=5)
+        prefix = long.arrivals[long.arrivals < 20.0]
+        assert np.array_equal(short.arrivals, prefix)
+
+    def test_partial_last_window_scaled_pro_rata(self):
+        # duration=15 with window=10 has a half window; arrivals must
+        # still respect the duration bound.
+        workload = poisson_poisson_workload(POP, duration=15.0, seed=11)
+        assert workload.arrivals.size == 0 or workload.arrivals[-1] < 15.0
+        assert len(workload.metadata["users_per_window"]) == 2
+
+    def test_demand_sampler_sizes_the_workload(self):
+        sampler = BimodalDemand(short=1.0, long=4.0, long_fraction=0.5)
+        workload = poisson_poisson_workload(
+            POP, duration=30.0, seed=2, demand_sampler=sampler
+        )
+        assert workload.has_sizes
+        assert workload.sizes.shape == workload.arrivals.shape
+        assert set(np.unique(workload.sizes)) <= {1.0, 4.0}
+        assert workload.metadata["demands"] == sampler.describe()
+
+    def test_unsized_by_default(self):
+        workload = poisson_poisson_workload(POP, duration=30.0, seed=2)
+        assert workload.sizes is None
+        assert not workload.has_sizes
+        assert workload.total_work == len(workload)
+
+    def test_metadata_provenance(self):
+        workload = poisson_poisson_workload(POP, duration=30.0, seed=9)
+        md = workload.metadata
+        assert md["generator"] == "poisson-poisson"
+        assert md["seed"] == 9
+        assert md["window"] == POP.window
+        assert md["mean_users"] == POP.mean_users
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            poisson_poisson_workload(POP, duration=0.0)
+
+    def test_overdispersed_relative_to_poisson(self):
+        # The doubly stochastic draw inflates the per-window count
+        # variance above the Poisson variance (= mean).  Deterministic
+        # given the seed, so no flake.
+        workload = poisson_poisson_workload(POP, duration=600.0, seed=1)
+        edges = np.arange(0.0, 600.0 + POP.window, POP.window)
+        counts, _ = np.histogram(workload.arrivals, bins=edges)
+        assert counts.var() > counts.mean()
+
+
+class TestCrossProcessDeterminism:
+    """derive_seed streams reproduce across --jobs worker processes."""
+
+    def test_derive_seed_identical_in_workers(self):
+        cases = [(0, ("population", 3)), (42, ("closed-loop", 7)), (7, ("demands", "ws"))]
+        local = [derive_seed(base, *keys) for base, keys in cases]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            remote = list(pool.map(_derived_in_worker, cases))
+        assert local == remote
+
+    def test_population_identical_across_two_workers(self):
+        local = _arrivals_in_worker(13)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            results = list(pool.map(_arrivals_in_worker, [13, 13]))
+        assert np.array_equal(results[0], local)
+        assert np.array_equal(results[1], local)
