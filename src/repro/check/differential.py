@@ -38,6 +38,7 @@ from ..perf import kernels, scalar
 from ..sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
 from ..server.base import Server
 from ..server.cluster import SplitSystem
+from ..server.sizesplit import SizeSplitSystem
 from ..server.constant_rate import ConstantRateModel, constant_rate_server
 from ..server.disk import DiskModel, DiskParameters
 from ..sim.engine import Simulator
@@ -48,8 +49,20 @@ from ..shaping import RunConfig, run_policy
 from .invariants import CheckingScheduler, Violation
 
 #: Policies the differential harness exercises by default: the four
-#: recombiners of the paper plus the EDF and WF²Q+ extensions.
-DEFAULT_POLICIES = ("fcfs", "split", "fairqueue", "wf2q", "miser", "edf")
+#: recombiners of the paper, the EDF and WF²Q+ extensions, and the
+#: size-aware family (SRPT/Nudge/Boost plus the SPLIT-style farm).
+DEFAULT_POLICIES = (
+    "fcfs",
+    "split",
+    "fairqueue",
+    "wf2q",
+    "miser",
+    "edf",
+    "srpt",
+    "nudge",
+    "boost",
+    "splitfarm",
+)
 
 
 @dataclass(frozen=True)
@@ -546,10 +559,13 @@ def run_checked(
 
     Mirrors :func:`repro.shaping.run_policy`'s capacity allocation, but
     wraps the single-server schedulers in a
-    :class:`~repro.check.invariants.CheckingScheduler`.  The Split
-    topology has no single scheduler to wrap, so it runs unwrapped and
-    is held to its outcome-level guarantee instead: a dedicated
-    ``cmin`` server means **zero** primary deadline misses.
+    :class:`~repro.check.invariants.CheckingScheduler`.  The topologies
+    have no single scheduler to wrap, so each runs unwrapped and is
+    held to its outcome-level guarantee instead: Split's dedicated
+    ``cmin`` server means **zero** primary deadline misses; the
+    size-threshold farm must conserve every request and route honestly
+    (every completion on the small partition had demand at or below the
+    threshold, every large-side completion above it).
     """
     if cmin <= 0 or delta_c < 0 or delta <= 0:
         raise ConfigurationError(
@@ -580,6 +596,60 @@ def run_checked(
             fraction_within=result.fraction_within(),
             mean_response=result.overall.stats.mean,
             p99_response=result.overall.percentile(99),
+            violations=tuple(violations),
+        )
+    if policy == "splitfarm":
+        sim = Simulator()
+        system = SizeSplitSystem(sim, cmin, delta_c, delta)
+        WorkloadSource(sim, workload, system).start()
+        sim.run()
+        ledger = system.fault_ledger()
+        if ledger["dropped"] or ledger["shed"]:
+            violations.append(
+                Violation(
+                    invariant="splitfarm-conservation",
+                    policy=policy,
+                    detail=f"healthy run lost requests: {ledger}",
+                    time=float("nan"),
+                )
+            )
+        for request in system.small_driver.completed:
+            if request.service_demand > system.threshold:
+                violations.append(
+                    Violation(
+                        invariant="splitfarm-routing",
+                        policy=policy,
+                        detail=(
+                            f"demand {request.service_demand} completed on the "
+                            f"small partition (threshold {system.threshold})"
+                        ),
+                        time=float(request.completion),
+                    )
+                )
+        for request in system.large_driver.completed:
+            if request.service_demand <= system.threshold:
+                violations.append(
+                    Violation(
+                        invariant="splitfarm-routing",
+                        policy=policy,
+                        detail=(
+                            f"demand {request.service_demand} completed on the "
+                            f"large partition (threshold {system.threshold})"
+                        ),
+                        time=float(request.completion),
+                    )
+                )
+        farm_classes = system.by_class
+        return CheckedRun(
+            policy=policy,
+            completed=ledger["completed"],
+            expected=len(workload),
+            primary_completed=len(farm_classes[QoSClass.PRIMARY]),
+            overflow_completed=len(farm_classes[QoSClass.OVERFLOW]),
+            primary_misses=system.primary_deadline_misses(),
+            fraction_within=system.fraction_within(delta),
+            mean_response=system.overall.stats.mean,
+            p99_response=system.overall.percentile(99),
             violations=tuple(violations),
         )
     if policy not in SINGLE_SERVER_POLICIES:

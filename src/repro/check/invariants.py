@@ -22,15 +22,29 @@ Invariant catalog
     tag algebra; a backwards jump re-opens spent service credit).
 ``miser-slack``
     Miser serves overflow ahead of queued primaries only when every
-    queued primary can spare a slot (``min_slack >= 1`` at the
-    decision), and the minimum slack never goes negative (Algorithm 2's
-    safety condition).
+    queued primary can spare the overflow head's worth of work
+    (``min_slack >= demand`` at the decision; ``>= 1`` at unit cost),
+    and the minimum slack never goes negative (Algorithm 2's safety
+    condition).
 ``edf-order``
     EDF dispatches primaries in non-decreasing deadline order, and
     serves overflow ahead of queued primaries only when the clock-based
     safety test passes.
+``srpt-order`` / ``srpt-preempt``
+    SRPT never dispatches a request with more remaining work than the
+    queued minimum, and only preempts when a queued request genuinely
+    has less work than the in-flight remainder.
+``nudge-swap-once``
+    A Nudge dispatch overtakes at most one earlier arrival, and no
+    request is ever overtaken twice (the defining one-swap budget of
+    Nudge; fault-plane requeues reshuffle arrival order legitimately,
+    so the check stands down once a requeue is observed).
+``boost-order``
+    Boost dispatches in non-decreasing boosted-arrival order
+    (``arrival - b(demand)``).
 ``dispatch-before-completion``
-    Every completion was previously dispatched, exactly once.
+    Every completion was previously dispatched, exactly once (a
+    preempted request is un-marked: it legitimately dispatches again).
 
 The checks reach into scheduler internals (``_queue._virtual``,
 ``_tracker``) by design — this module is the white-box auditor for the
@@ -48,6 +62,7 @@ from ..sched.edf import EDFScheduler
 from ..sched.fair import FairQueueScheduler
 from ..sched.fcfs import FCFSScheduler
 from ..sched.miser import MiserScheduler
+from ..sched.sized import BoostScheduler, NudgeScheduler, SRPTScheduler
 
 
 @dataclass(frozen=True)
@@ -81,13 +96,22 @@ class CheckingScheduler(Scheduler):
         self._last_fcfs_seq = -1
         self._last_virtual = float("-inf")
         self._last_q1_deadline = float("-inf")
+        self._overtaken: set[int] = set()  # arrival seqs overtaken once
+        self._saw_requeue = False
         self._now = 0.0
 
     # The driver probes optional attributes (``classifier``) and the
     # sampler probes ``min_slack``-style telemetry: forward everything
-    # we do not intercept.
+    # we do not intercept.  ``preemptive``/``should_preempt``/
+    # ``on_preempt`` exist on the Scheduler base class, so they are
+    # overridden explicitly below — ``__getattr__`` only fires for
+    # missing attributes.
     def __getattr__(self, attr):
         return getattr(self.inner, attr)
+
+    @property
+    def preemptive(self) -> bool:
+        return self.inner.preemptive
 
     def _flag(self, invariant: str, detail: str) -> None:
         self.violations.append(
@@ -113,12 +137,18 @@ class CheckingScheduler(Scheduler):
         miser_slack = None
         q1_backlog = 0
         edf_safe = None
+        srpt_min = None
+        boost_min = None
         if isinstance(inner, MiserScheduler):
             miser_slack = inner.min_slack
             q1_backlog = inner.class_backlog()["q1"]
         elif isinstance(inner, EDFScheduler):
             q1_backlog = inner.class_backlog()["q1"]
             edf_safe = inner._overflow_is_safe(now)
+        elif isinstance(inner, SRPTScheduler):
+            srpt_min = inner.min_remaining()
+        elif isinstance(inner, BoostScheduler):
+            boost_min = inner.min_key()
 
         request = inner.select(now)
 
@@ -135,7 +165,32 @@ class CheckingScheduler(Scheduler):
             self._flag("dispatch-before-completion", "request dispatched twice")
         self._dispatched.add(key)
 
-        if isinstance(inner, FCFSScheduler):
+        if isinstance(inner, NudgeScheduler):
+            # FCFS-with-one-swap: the dispatched request may overtake at
+            # most one still-queued earlier arrival, and nobody is
+            # overtaken twice.  Requeues legitimately reshuffle arrival
+            # order, so the check stands down once one is seen.
+            if not self._saw_requeue:
+                seq = self._dispatch_seq.get(key, -1)
+                overtaken = [
+                    self._dispatch_seq[id(queued)]
+                    for queued in inner._queue
+                    if self._dispatch_seq.get(id(queued), seq) < seq
+                ]
+                if len(overtaken) > 1:
+                    self._flag(
+                        "nudge-swap-once",
+                        f"arrival #{seq} overtook {len(overtaken)} earlier "
+                        "arrivals (budget is one)",
+                    )
+                for old_seq in overtaken:
+                    if old_seq in self._overtaken:
+                        self._flag(
+                            "nudge-swap-once",
+                            f"arrival #{old_seq} overtaken a second time",
+                        )
+                    self._overtaken.add(old_seq)
+        elif isinstance(inner, FCFSScheduler):
             seq = self._dispatch_seq.get(key, -1)
             if seq <= self._last_fcfs_seq:
                 self._flag(
@@ -156,14 +211,15 @@ class CheckingScheduler(Scheduler):
                 request.qos_class is QoSClass.OVERFLOW
                 and q1_backlog > 0
                 and miser_slack is not None
-                and miser_slack < 1
+                and miser_slack < request.service_demand - 1e-9
             ):
                 self._flag(
                     "miser-slack",
-                    f"overflow served past {q1_backlog} primaries with "
-                    f"min_slack={miser_slack}",
+                    f"overflow of demand {request.service_demand} served "
+                    f"past {q1_backlog} primaries with min_slack="
+                    f"{miser_slack}",
                 )
-            if inner.min_slack < 0:
+            if inner.min_slack < -1e-9:
                 self._flag(
                     "miser-slack", f"min_slack went negative: {inner.min_slack}"
                 )
@@ -181,6 +237,24 @@ class CheckingScheduler(Scheduler):
                     "edf-order",
                     f"overflow served past {q1_backlog} primaries while unsafe",
                 )
+        elif isinstance(inner, SRPTScheduler):
+            # The snapshot minimum includes the request that was popped,
+            # so a correct SRPT dispatch matches it exactly.
+            work = inner.remaining_work(request)
+            if srpt_min is not None and work > srpt_min + 1e-9:
+                self._flag(
+                    "srpt-order",
+                    f"dispatched remaining work {work} above queued "
+                    f"minimum {srpt_min}",
+                )
+        elif isinstance(inner, BoostScheduler):
+            key_value = inner.key_of(request)
+            if boost_min is not None and key_value > boost_min + 1e-12:
+                self._flag(
+                    "boost-order",
+                    f"dispatched boost key {key_value} above queued "
+                    f"minimum {boost_min}",
+                )
         return request
 
     def on_completion(self, request: Request) -> None:
@@ -195,7 +269,28 @@ class CheckingScheduler(Scheduler):
         self._check_classifier()
 
     def on_requeue(self, request: Request) -> None:
+        self._saw_requeue = True
         self.inner.on_requeue(request)
+
+    def should_preempt(self, current: Request, remaining: float, now: float) -> bool:
+        self._now = now
+        decision = self.inner.should_preempt(current, remaining, now)
+        if decision and isinstance(self.inner, SRPTScheduler):
+            min_work = self.inner.min_remaining()
+            threshold = remaining * self.inner.service_rate
+            if min_work is None or min_work >= threshold:
+                self._flag(
+                    "srpt-preempt",
+                    f"preemption with queued minimum {min_work} not below "
+                    f"in-flight remainder {threshold}",
+                )
+        return decision
+
+    def on_preempt(self, request: Request) -> None:
+        # The preempted request is back in the queue: un-mark it so its
+        # re-dispatch is not misread as a double dispatch.
+        self._dispatched.discard(id(request))
+        self.inner.on_preempt(request)
 
     def shed_overflow(self, keep: int = 0) -> list[Request]:
         return self.inner.shed_overflow(keep)

@@ -86,6 +86,13 @@ class Request:
         ``C·δ`` budget.  Distinct from ``size``: ``size`` is the raw
         trace byte count (round-tripped, never interpreted), while
         ``service_demand`` is the cost model the shaping layer acts on.
+    remaining_service:
+        Unserved service time in *seconds* left over from a preemption
+        (:meth:`repro.server.base.Server.preempt`); ``None`` for a
+        request that has never been preempted.  A server re-dispatching
+        a preempted request serves exactly this remainder (and clears
+        the field) instead of re-consulting its service-time model, so
+        an originally drawn disk/SSD service time survives preemption.
     """
 
     arrival: float
@@ -100,6 +107,7 @@ class Request:
     completion: float | None = None
     retries: int = 0
     service_demand: float = 1.0
+    remaining_service: float | None = None
 
     def __post_init__(self) -> None:
         if self.arrival < 0:

@@ -14,7 +14,13 @@ per overflow dispatch).  :class:`SlackTracker` keeps the same semantics in
 O(log n) amortized per operation using a global offset plus a lazy-deletion
 min-heap: a request inserted with slack ``s`` while the offset is ``o`` is
 stored as ``s + o``, and its *effective* slack is ``stored - offset``.
-Decrementing everyone is then just ``offset += 1``.
+Decrementing everyone is then just ``offset += amount``.
+
+Slack is measured in *work units* (multiples of the unit-cost request),
+not queue slots: an overflow dispatch of demand ``w`` decrements every
+slack by ``w``.  Unit-demand workloads keep every quantity an
+exact-integer-valued float, so the arithmetic — and every gate decision —
+is bit-identical to the historical integer implementation.
 """
 
 from __future__ import annotations
@@ -29,9 +35,9 @@ class SlackTracker:
     """Multiset of per-request slacks with O(log n) bulk decrement."""
 
     def __init__(self) -> None:
-        self._offset = 0
-        self._heap: list[tuple[int, int]] = []  # (stored_slack, key)
-        self._stored: dict[int, int] = {}  # key -> stored_slack
+        self._offset = 0.0
+        self._heap: list[tuple[float, int]] = []  # (stored_slack, key)
+        self._stored: dict[int, float] = {}  # key -> stored_slack
 
     def __len__(self) -> int:
         return len(self._stored)
@@ -39,7 +45,7 @@ class SlackTracker:
     def __contains__(self, key: int) -> bool:
         return key in self._stored
 
-    def insert(self, key: int, slack: int) -> None:
+    def insert(self, key: int, slack: float) -> None:
         """Track ``key`` with effective slack ``slack``.
 
         Raises
@@ -53,7 +59,7 @@ class SlackTracker:
         self._stored[key] = stored
         heapq.heappush(self._heap, (stored, key))
 
-    def slack_of(self, key: int) -> int:
+    def slack_of(self, key: int) -> float:
         """Current effective slack of ``key``."""
         try:
             return self._stored[key] - self._offset
@@ -66,16 +72,16 @@ class SlackTracker:
             raise SchedulerError(f"slack key {key} not tracked")
         del self._stored[key]
 
-    def decrement_all(self) -> None:
-        """Subtract one from every tracked slack (O(1))."""
-        self._offset += 1
+    def decrement_all(self, amount: float = 1) -> None:
+        """Subtract ``amount`` (work units served) from every slack (O(1))."""
+        self._offset += amount
 
-    def min_slack(self) -> int:
+    def min_slack(self) -> float:
         """Smallest effective slack; ``math.inf``-like sentinel when empty.
 
         Returns
         -------
-        int
+        float
             The minimum slack, or a very large value when nothing is
             tracked (an empty primary queue constrains nothing).
         """
@@ -98,15 +104,17 @@ def no_constraint() -> int:
     return _NO_CONSTRAINT
 
 
-def is_unconstrained(slack: int) -> bool:
+def is_unconstrained(slack: float) -> bool:
     """True when ``slack`` is the empty-tracker sentinel."""
     return slack >= _NO_CONSTRAINT
 
 
-def initial_slack(max_queue: float, occupancy: int) -> int:
-    """Slack assigned on admission: ``floor(maxQ1 - lenQ1)`` (Algorithm 2).
+def initial_slack(max_queue: float, occupancy: float) -> int:
+    """Slack assigned on admission: ``floor(maxQ1 - workQ1)`` (Algorithm 2).
 
-    ``occupancy`` is the primary-queue length *including* the request
-    being admitted, matching the pseudocode's post-increment read.
+    ``occupancy`` is the primary-queue work *including* the request being
+    admitted, matching the pseudocode's post-increment read.  For
+    unit-demand workloads the work equals the queue length and this is
+    exactly the paper's ``floor(maxQ1 - lenQ1)``.
     """
     return max(0, math.floor(max_queue - occupancy + 1e-9))

@@ -30,10 +30,16 @@ from ..core.workload import Workload
 from ..exceptions import ConfigurationError
 from ..obs.registry import MetricsRegistry
 from ..obs.sampler import Sampler, attach_standard_probes
-from ..sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
+from ..sched.registry import (
+    CLASSIFIER_FREE_POLICIES,
+    SINGLE_SERVER_POLICIES,
+    make_scheduler,
+)
 from ..server.cluster import SplitSystem
 from ..server.constant_rate import ConstantRateModel
 from ..server.driver import DeviceDriver
+from ..server.farm import ServerFarm
+from ..server.sizesplit import SizeSplitSystem
 from ..sim.engine import Simulator
 from ..sim.rng import derive_seed
 from ..sim.source import WorkloadSource
@@ -164,6 +170,36 @@ def run_resilient(
         loop_driver = system.primary_driver
         shed_from = system.overflow_driver
         classifier = system.classifier
+    elif policy == "splitfarm":
+        if adaptive:
+            raise ConfigurationError(
+                "adaptive control is not supported for splitfarm: Q1 "
+                "completions span both size partitions, so no single "
+                "driver carries the controller's inputs"
+            )
+
+        def farm_factory(sim_, capacity, units, name):
+            def unit_factory(s, model, name="unit"):
+                return FaultableServer(s, model, name=name, inflight=inflight)
+
+            models = [
+                FaultyModel(
+                    ConstantRateModel(capacity / units),
+                    state,
+                    seed=derive_seed(seed, "faults.server", f"{name}[{i}]"),
+                )
+                for i in range(units)
+            ]
+            return ServerFarm(sim_, models, name=name, unit_factory=unit_factory)
+
+        system = SizeSplitSystem(
+            sim, cmin, delta_c, delta,
+            metrics=metrics, farm_factory=farm_factory, retry=retry,
+        )
+        servers = system.servers
+        loop_driver = system.small_driver
+        shed_from = system.large_driver
+        classifier = system.classifier
     elif policy in SINGLE_SERVER_POLICIES:
         scheduler = make_scheduler(policy, cmin, delta_c, delta)
         server = FaultableServer(
@@ -250,6 +286,8 @@ def run_resilient(
         demotions=(
             system.demotions
             if isinstance(system, DeviceDriver)
+            else system.small_driver.demotions + system.large_driver.demotions
+            if isinstance(system, SizeSplitSystem)
             else system.primary_driver.demotions + system.overflow_driver.demotions
         ),
         failovers=getattr(system, "failovers", 0),
@@ -278,9 +316,12 @@ def run_chaos(
 ) -> ResilientRunResult:
     """One chaos-suite run: derive a schedule from ``seed`` and go.
 
-    ``adaptive`` defaults to True for every classifying policy and False
-    for FCFS.  The retry policy defaults to generous per-class timeouts
-    (``10·delta`` for Q1, ``40·delta`` for Q2) with three retries.
+    ``adaptive`` defaults to True for every adaptable classifying policy
+    and False for the classifier-free ones (FCFS/SRPT/Nudge/Boost have
+    no admission bound to steer) and for splitfarm (its Q1 completions
+    span both partitions).  The retry policy defaults to generous
+    per-class timeouts (``10·delta`` for Q1, ``40·delta`` for Q2) with
+    three retries.
     """
     schedule = random_schedule(
         seed,
@@ -288,7 +329,7 @@ def run_chaos(
         crashes=crashes,
         droops=droops,
         storms=storms,
-        units=2 if policy == "split" else 1,
+        units=2 if policy in ("split", "splitfarm") else 1,
     )
     if retry is None:
         retry = RetryPolicy(
@@ -298,7 +339,7 @@ def run_chaos(
             backoff_base=delta / 2,
         )
     if adaptive is None:
-        adaptive = policy != "fcfs"
+        adaptive = policy not in CLASSIFIER_FREE_POLICIES and policy != "splitfarm"
     return run_resilient(
         workload,
         policy,

@@ -153,11 +153,20 @@ def attach_standard_probes(sampler: Sampler, system) -> Sampler:
         classifier = getattr(system, "classifier", None)
         if classifier is not None:
             sampler.probe("len_q1", lambda: classifier.len_q1)
+    elif hasattr(system, "small_driver") and hasattr(system, "large_driver"):
+        _scheduler_probes(sampler, system.small_driver.scheduler, prefix="small_")
+        _scheduler_probes(sampler, system.large_driver.scheduler, prefix="large_")
+        _driver_probes(sampler, system.small_driver, prefix="small_")
+        _driver_probes(sampler, system.large_driver, prefix="large_")
+        classifier = getattr(system, "classifier", None)
+        if classifier is not None:
+            sampler.probe("len_q1", lambda: classifier.len_q1)
     else:
         raise ConfigurationError(
             f"don't know how to probe {type(system).__name__}: expected a "
-            "driver (scheduler + server) or a split system "
-            "(primary_driver + overflow_driver)"
+            "driver (scheduler + server) or a split topology "
+            "(primary_driver + overflow_driver, or small_driver + "
+            "large_driver)"
         )
     return sampler
 

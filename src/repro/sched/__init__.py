@@ -8,7 +8,14 @@ from .fair import FairQueue, FairQueueScheduler
 from .fcfs import FCFSScheduler
 from .miser import MiserScheduler
 from .pclock import FlowSLA, PClockScheduler, feasible
-from .registry import ALL_POLICIES, SINGLE_SERVER_POLICIES, make_scheduler
+from .registry import (
+    ALL_POLICIES,
+    CLASSIFIER_FREE_POLICIES,
+    SINGLE_SERVER_POLICIES,
+    TOPOLOGY_POLICIES,
+    make_scheduler,
+)
+from .sized import BoostScheduler, NudgeScheduler, SRPTScheduler
 
 __all__ = [
     "Scheduler",
@@ -20,10 +27,15 @@ __all__ = [
     "FairQueueScheduler",
     "FCFSScheduler",
     "MiserScheduler",
+    "BoostScheduler",
+    "NudgeScheduler",
+    "SRPTScheduler",
     "FlowSLA",
     "PClockScheduler",
     "feasible",
     "ALL_POLICIES",
+    "CLASSIFIER_FREE_POLICIES",
     "SINGLE_SERVER_POLICIES",
+    "TOPOLOGY_POLICIES",
     "make_scheduler",
 ]

@@ -31,6 +31,11 @@ class Scheduler(abc.ABC):
     #: Short policy name used in reports ("fcfs", "miser", ...).
     name: str = "scheduler"
 
+    #: Whether the policy may interrupt an in-flight service.  Drivers
+    #: consult :meth:`should_preempt` after every arrival when this is
+    #: set; non-preemptive schedulers (the default) never pay for it.
+    preemptive: bool = False
+
     #: Bound registry; the class-level defaults keep metrics disabled
     #: without requiring subclasses to call ``super().__init__``.
     metrics: MetricsRegistry = NULL_REGISTRY
@@ -117,6 +122,25 @@ class Scheduler(abc.ABC):
         override this to append directly to ``Q2``; the single-queue
         default falls back to :meth:`on_arrival` (FCFS has no classes to
         protect).
+        """
+        self.on_arrival(request)
+
+    def should_preempt(self, current: Request, remaining: float, now: float) -> bool:
+        """Whether the in-flight ``current`` request should be preempted.
+
+        ``remaining`` is the unserved service time in seconds.  Only
+        consulted by the driver when :attr:`preemptive` is set; the
+        default never preempts.
+        """
+        return False
+
+    def on_preempt(self, request: Request) -> None:
+        """Re-queue a request the driver preempted off the server.
+
+        ``request.remaining_service`` carries the unserved seconds.  The
+        default re-enters through :meth:`on_arrival`; preemptive
+        schedulers override this to queue on remaining work without
+        re-counting the arrival.
         """
         self.on_arrival(request)
 

@@ -6,17 +6,24 @@ served in deadline order (which for uniform ``delta`` equals FCFS within
 at risk *according to the actual clock* — a time-based variant of Miser's
 queue-slot slack.
 
-EDF dispatches an overflow request at time ``t`` iff serving it (one
-service quantum ``1/C``) still leaves every queued primary request able
-to finish by its absolute deadline at rate ``C``:
+EDF dispatches an overflow request at time ``t`` iff serving it (the
+overflow head's demand at rate ``C``) still leaves every queued primary
+request able to finish by its absolute deadline at rate ``C``:
 
-    t + (k + 1) / C <= d_k   for every queued primary position k
+    t + (w2 + W_k) / C <= d_k   for every queued primary position k
 
-which reduces to checking the single tightest ``d_k - (k + 1)/C``.
-Compared to Miser, this uses the *live clock* rather than slack counters
-frozen at admission, so it can exploit slack Miser forgets (a primary
-request that waited keeps its absolute deadline, but Miser's stored
-slack never grows back).
+where ``w2`` is the overflow head's service demand and ``W_k`` the
+cumulative demand of the primaries up to and including position ``k``
+(unit demand everywhere reduces this to the seed-era
+``t + (k + 2)/C <= d_k`` bit for bit).  Compared to Miser, this uses the
+*live clock* rather than slack counters frozen at admission, so it can
+exploit slack Miser forgets (a primary request that waited keeps its
+absolute deadline, but Miser's stored slack never grows back).
+
+Deadline ties are resolved with the shared kernel EPS semantics
+(:data:`repro.perf.scalar.EPS`, in room units — divided by the rate via
+``EPS * service_time`` to land in seconds), matching the admission
+kernels and the exact oracle instead of the historical literal 1e-12.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from collections import deque
 
 from ..core.request import QoSClass, Request
 from ..exceptions import ConfigurationError
+from ..perf.scalar import EPS
 from .base import Scheduler
 from .classifier import OnlineRTTClassifier
 
@@ -41,6 +49,10 @@ class EDFScheduler(Scheduler):
             )
         self.classifier = classifier
         self.service_time = 1.0 / service_rate
+        # Kernel EPS is expressed in room units (work); one unit of work
+        # takes service_time seconds, so the seconds-domain tolerance is
+        # the product.
+        self.tie_tolerance = EPS * self.service_time
         self._q1: deque[Request] = deque()
         self._q2: deque[Request] = deque()
 
@@ -52,10 +64,19 @@ class EDFScheduler(Scheduler):
         self._note_arrival(request)
 
     def _overflow_is_safe(self, now: float) -> bool:
-        """Would one overflow quantum endanger any queued primary?"""
-        for position, request in enumerate(self._q1):
-            finish_if_deferred = now + (position + 2) * self.service_time
-            if finish_if_deferred > request.deadline + 1e-12:
+        """Would serving the overflow head endanger any queued primary?
+
+        Demand-aware: the deferral cost is the overflow head's own
+        demand, and each primary's finish time accumulates the actual
+        demands ahead of it.  At unit demand the cumulative sum is the
+        exact integer ``position + 2``, so the arithmetic (and every
+        deferral decision) is bit-identical to the unit-cost original.
+        """
+        cumulative = self._q2[0].service_demand if self._q2 else 1.0
+        for request in self._q1:
+            cumulative += request.service_demand
+            finish_if_deferred = now + cumulative * self.service_time
+            if finish_if_deferred > request.deadline + self.tie_tolerance:
                 return False
         return True
 

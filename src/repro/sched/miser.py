@@ -8,7 +8,12 @@ drain (FairQueue) or for a dedicated server (Split).
 
 The slack arithmetic follows Algorithm 2, with the O(n) "decrement every
 queued request" replaced by the equivalent O(log n)
-:class:`~repro.core.slack.SlackTracker`.
+:class:`~repro.core.slack.SlackTracker`.  Slack is measured in *work
+units*: admission slack reads the classifier's admitted work
+(``maxQ1 - workQ1``), the overflow gate requires the head's own
+``service_demand`` worth of slack, and an overflow dispatch decrements
+every stored slack by that demand.  Unit-cost workloads collapse all of
+this to the paper's integer slot arithmetic bit for bit.
 
 Being online, RTT + Miser can in the worst case delay a few primary
 requests beyond their deadline; the paper proves ``delta_C = Cmin`` makes
@@ -45,8 +50,10 @@ class MiserScheduler(Scheduler):
         qos = self.classifier.classify(request)
         if qos is QoSClass.PRIMARY:
             key = next(self._keys)
-            # Post-increment occupancy, exactly as Algorithm 2 reads lenQ1.
-            slack = initial_slack(self.classifier.max_queue, self.classifier.len_q1)
+            # Post-increment occupancy, exactly as Algorithm 2 reads
+            # lenQ1 — generalized to admitted work (== lenQ1 at unit
+            # demand, so the unit path floors identically).
+            slack = initial_slack(self.classifier.max_queue, self.classifier.work_q1)
             self._tracker.insert(key, slack)
             self._q1.append((request, key))
         else:
@@ -55,13 +62,16 @@ class MiserScheduler(Scheduler):
 
     def select(self, now: float) -> Request | None:
         # Algorithm 2 departure rule: overflow may run iff even the most
-        # constrained primary request can spare a slot.
-        if self._q2 and self._tracker.min_slack() >= 1:
+        # constrained primary request can spare the head's worth of work.
+        # (At unit demand the gate is exactly the original min_slack >= 1.)
+        if self._q2 and (
+            self._tracker.min_slack() + 1e-9 >= self._q2[0].service_demand
+        ):
             if self._q1:
                 self.slack_dispatches += 1
                 self._m_slack_dispatches.inc()
-            self._tracker.decrement_all()
             request = self._q2.popleft()
+            self._tracker.decrement_all(request.service_demand)
             self._note_dispatch(request)
             return request
         if self._q1:
@@ -98,6 +108,6 @@ class MiserScheduler(Scheduler):
         return {"q1": len(self._q1), "q2": len(self._q2)}
 
     @property
-    def min_slack(self) -> int:
-        """Current minimum slack across queued primary requests."""
+    def min_slack(self) -> float:
+        """Current minimum slack (work units) across queued primaries."""
         return self._tracker.min_slack()

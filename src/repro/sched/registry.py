@@ -19,11 +19,31 @@ from .drr import DRRScheduler
 from .edf import EDFScheduler
 from .fcfs import FCFSScheduler
 from .miser import MiserScheduler
+from .sized import BoostScheduler, NudgeScheduler, SRPTScheduler
 
 #: Policies served by a single shared server (Split is a topology, not a
 #: scheduler — see repro.server.cluster.SplitSystem).
-SINGLE_SERVER_POLICIES = ("fcfs", "fairqueue", "wf2q", "drr", "miser", "edf")
-ALL_POLICIES = SINGLE_SERVER_POLICIES + ("split",)
+SINGLE_SERVER_POLICIES = (
+    "fcfs",
+    "fairqueue",
+    "wf2q",
+    "drr",
+    "miser",
+    "edf",
+    "srpt",
+    "nudge",
+    "boost",
+)
+#: Multi-server topologies constructed outside this registry: "split" is
+#: the paper's two-queue system (repro.server.cluster.SplitSystem) and
+#: "splitfarm" the SPLIT-style size-threshold farm dispatcher
+#: (repro.server.sizesplit.SizeSplitSystem).
+TOPOLOGY_POLICIES = ("split", "splitfarm")
+ALL_POLICIES = SINGLE_SERVER_POLICIES + TOPOLOGY_POLICIES
+#: Policies with no RTT classifier (no Q1/Q2 classes, no deadlines):
+#: size-/order-aware baselines the decomposition policies compete with.
+#: The adaptive fault-plane controller cannot steer these.
+CLASSIFIER_FREE_POLICIES = ("fcfs", "srpt", "nudge", "boost")
 
 def _classifier(cmin, delta, admission):
     # Count mode uses the seed-era two-argument call so test doubles
@@ -74,6 +94,21 @@ def _make_edf(cmin, delta_c, delta, admission):
     return EDFScheduler(classifier, service_rate=cmin + delta_c)
 
 
+@REGISTRY.register("srpt")
+def _make_srpt(cmin, delta_c, delta, admission):
+    return SRPTScheduler(service_rate=cmin + delta_c)
+
+
+@REGISTRY.register("nudge")
+def _make_nudge(cmin, delta_c, delta, admission):
+    return NudgeScheduler()
+
+
+@REGISTRY.register("boost")
+def _make_boost(cmin, delta_c, delta, admission):
+    return BoostScheduler(scale=delta)
+
+
 def make_scheduler(
     policy: str,
     cmin: float,
@@ -91,12 +126,16 @@ def make_scheduler(
     Raises
     ------
     ConfigurationError
-        For unknown policies, or for "split" (which needs two servers —
-        use :class:`repro.server.cluster.SplitSystem`).
+        For unknown policies, or for the multi-server topologies
+        ("split" — use :class:`repro.server.cluster.SplitSystem`;
+        "splitfarm" — use :class:`repro.server.sizesplit.SizeSplitSystem`).
     """
-    if policy == "split":
+    if policy in TOPOLOGY_POLICIES:
         raise ConfigurationError(
-            "split is a two-server topology; use repro.server.cluster.SplitSystem"
+            f"{policy} is a multi-server topology, not a single-server "
+            "scheduler; use repro.server.cluster.SplitSystem (split, the "
+            "paper's two-server system) or "
+            "repro.server.sizesplit.SizeSplitSystem (splitfarm)"
         )
     if policy not in REGISTRY:
         raise ConfigurationError(f"unknown policy {policy!r}; known: {ALL_POLICIES}")

@@ -7,9 +7,11 @@ from .degraded import Brownout, DegradedModel, FlakyModel
 from .disk import DiskModel, DiskParameters
 from .driver import DeviceDriver
 from .farm import ServerFarm, constant_rate_farm
+from .sizesplit import SizeSplitSystem
 from .ssd import SSDModel, SSDParameters
 
 __all__ = [
+    "SizeSplitSystem",
     "Server",
     "ServiceTimeModel",
     "SplitSystem",

@@ -92,7 +92,13 @@ class Server:
                 f"{self.name}: dispatch while serving request "
                 f"{self._current.index}"
             )
-        duration = self.model.service_time(request)
+        if request.remaining_service is not None:
+            # Resuming a preempted request: serve exactly the unserved
+            # remainder, never a fresh model draw.
+            duration = request.remaining_service
+            request.remaining_service = None
+        else:
+            duration = self.model.service_time(request)
         if duration <= 0:
             raise SimulationError(
                 f"{self.name}: non-positive service time {duration}"
@@ -104,6 +110,38 @@ class Server:
         self._completion_event = self.sim.schedule_after(
             duration, self._complete, priority=PRIORITY_COMPLETION
         )
+
+    def remaining_seconds(self) -> float:
+        """Unserved seconds of the in-flight request (0.0 when idle)."""
+        if self._current is None:
+            return 0.0
+        return max(0.0, self._service_end - self.sim.now)
+
+    def preempt(self) -> Request:
+        """Stop the in-flight request and return it with its remainder.
+
+        The unserved remainder of the service is refunded from the
+        busy-time accounting and stored on the request as
+        ``remaining_service`` so a later :meth:`dispatch` resumes it
+        exactly where it stopped.
+
+        Raises
+        ------
+        SchedulerError
+            If the server is idle.
+        """
+        if self._current is None:
+            raise SchedulerError(f"{self.name}: preempt with no request in service")
+        request = self._current
+        remaining = max(0.0, self._service_end - self.sim.now)
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        self._current = None
+        self._busy_time -= remaining
+        request.remaining_service = remaining
+        request.dispatch = None
+        return request
 
     def _complete(self) -> None:
         request = self._current

@@ -80,7 +80,13 @@ class DiskModel:
         rotation = float(self._rng.uniform(0.0, p.rotation_time))
         size = request.size if request.size > 0 else 4096
         transfer = size / p.transfer_rate
-        return p.controller_overhead + seek + rotation + transfer
+        # service_demand scales the per-request mechanical work (seek and
+        # transfer); the rotational miss and controller setup are paid
+        # once regardless of size.  ``x * 1.0 == x`` exactly in IEEE-754,
+        # so the default unit demand is bit-identical to the unscaled
+        # model (golden-corpus certified).
+        demand = request.service_demand
+        return p.controller_overhead + seek * demand + rotation + transfer * demand
 
     def mean_service_time(self, mean_size: int = 4096, n_samples: int = 4096) -> float:
         """Monte-Carlo estimate of the random-workload mean service time.

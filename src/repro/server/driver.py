@@ -107,6 +107,10 @@ class DeviceDriver:
         self._m_dispatches = self.metrics.counter(f"{metrics_prefix}.dispatches")
         self._m_completions = self.metrics.counter(f"{metrics_prefix}.completions")
         self._m_misses = self.metrics.counter(f"{metrics_prefix}.deadline_misses")
+        self._m_preemptions = self.metrics.counter(f"{metrics_prefix}.preemptions")
+        #: Times the scheduler pulled an in-flight request off the server.
+        self.preemptions = 0
+        self._preemptive = bool(getattr(scheduler, "preemptive", False))
 
         # ---- resilience plane (all dormant when retry is None and the
         # ---- server has no fault hooks) --------------------------------
@@ -145,6 +149,31 @@ class DeviceDriver:
         """Entry point for workload sources."""
         self._m_arrivals.inc()
         self.scheduler.on_arrival(request)
+        self._try_dispatch()
+        if self._preemptive and self.server.busy:
+            self._maybe_preempt()
+
+    def _maybe_preempt(self) -> None:
+        """Ask a preemptive scheduler whether the in-flight request loses.
+
+        Only single-unit servers expose ``current``/``preempt``; a farm
+        (or a crashed server, whose ``busy`` covers downtime) simply
+        declines.
+        """
+        current = getattr(self.server, "current", None)
+        if current is None:
+            return
+        remaining = self.server.remaining_seconds()
+        if remaining <= 0.0:
+            return
+        if not self.scheduler.should_preempt(current, remaining, self.sim.now):
+            return
+        if self.retry is not None:
+            self._disarm_timeout(current)
+        preempted = self.server.preempt()
+        self.preemptions += 1
+        self._m_preemptions.inc()
+        self.scheduler.on_preempt(preempted)
         self._try_dispatch()
 
     def add_completion_hook(self, hook) -> None:

@@ -38,7 +38,7 @@ class SSDParameters:
 
     read_latency: float = 100e-6
     write_latency: float = 250e-6
-    #: Writes (in requests) between garbage collections.
+    #: Write work (in unit-demand requests) between garbage collections.
     gc_threshold: int = 400
     #: Duration of one GC stall (seconds).
     gc_pause: float = 5e-3
@@ -62,16 +62,22 @@ class SSDModel:
     def __init__(self, params: SSDParameters | None = None, seed: int | None = 0):
         self.params = params or SSDParameters()
         self._rng = make_rng(seed)
-        self._write_debt = 0
+        self._write_debt = 0.0
         self.gc_events = 0
 
     def service_time(self, request: Request) -> float:
         p = self.params
+        # service_demand scales the flash work: access latency and, for
+        # writes, the pages of GC debt the request accrues.  The default
+        # demand of 1.0 is bit-identical to the unscaled model
+        # (``x * 1.0 == x`` in IEEE-754, and integer debt sums stay
+        # exact in floats far below 2**53).
+        demand = request.service_demand
         if request.kind is IOKind.WRITE:
-            base = p.write_latency
-            self._write_debt += 1
+            base = p.write_latency * demand
+            self._write_debt += demand
         else:
-            base = p.read_latency
+            base = p.read_latency * demand
         if p.jitter > 0:
             base *= 1.0 + float(self._rng.uniform(-p.jitter, p.jitter))
         if self._write_debt >= p.gc_threshold:

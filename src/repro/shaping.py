@@ -36,8 +36,9 @@ from .obs.export import export_run
 from .obs.registry import MetricsRegistry
 from .obs.sampler import Sampler, attach_standard_probes
 from .perf import engines
-from .sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
+from .sched.registry import ALL_POLICIES, SINGLE_SERVER_POLICIES, make_scheduler
 from .server.cluster import SplitSystem
+from .server.sizesplit import SizeSplitSystem
 from .server.constant_rate import constant_rate_server
 from .server.driver import DeviceDriver
 from .sim import batch
@@ -270,7 +271,7 @@ def _run_policy(
     cmin, delta_c, delta = config.cmin, config.delta_c, config.delta
     requested = engines.resolve_engine(config.engine)
     if requested != "scalar":
-        if policy != "split" and policy not in SINGLE_SERVER_POLICIES:
+        if policy not in ALL_POLICIES:
             raise ConfigurationError(f"unknown policy {policy!r}")
         eligible, reason = batch.supports(
             policy,
@@ -293,6 +294,13 @@ def _run_policy(
         if config.record_rates is not None:
             raise ConfigurationError("rate recording is single-server only")
         system = SplitSystem(
+            sim, cmin, delta_c, delta, metrics=metrics, admission=config.admission
+        )
+        sink = system
+    elif policy == "splitfarm":
+        if config.record_rates is not None:
+            raise ConfigurationError("rate recording is single-server only")
+        system = SizeSplitSystem(
             sim, cmin, delta_c, delta, metrics=metrics, admission=config.admission
         )
         sink = system

@@ -154,6 +154,26 @@ class ResponseTimeCollector:
             return 0.0
         return float(np.percentile(self.samples, p))
 
+    def percentile_exact(self, p: float) -> float:
+        """The ``p``-th percentile as an exact order statistic.
+
+        ``np.percentile`` interpolates between neighbors, which
+        manufactures response times no request ever saw — visibly wrong
+        for deep-tail quantiles (p99.9 of 1000 samples interpolates
+        between the two worst observations).  This variant returns the
+        smallest sample ``x`` with at least ``p`` percent of the mass at
+        or below ``x``: ``sorted[max(0, ceil(p/100 * n) - 1)]``.  For
+        tail percentiles it is conservative (never below the
+        interpolated value's floor sample) and always an observed value.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise SimulationError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = np.sort(self.samples)
+        rank = max(0, math.ceil(p / 100.0 * ordered.size) - 1)
+        return float(ordered[rank])
+
     def cdf(self) -> tuple[np.ndarray, np.ndarray]:
         """Empirical CDF: sorted samples and cumulative fractions."""
         if not self._samples:

@@ -24,6 +24,7 @@ from ..exceptions import ConfigurationError, SimulationError
 from ..sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
 from ..server.cluster import SplitSystem
 from ..server.constant_rate import constant_rate_server
+from ..server.sizesplit import SizeSplitSystem
 from ..server.driver import DeviceDriver
 from ..shaping import RunConfig
 from ..sim.engine import Simulator
@@ -119,6 +120,10 @@ def run_closed_loop(
     sim = Simulator()
     if policy == "split":
         system = SplitSystem(
+            sim, cmin, delta_c, delta, admission=config.admission
+        )
+    elif policy == "splitfarm":
+        system = SizeSplitSystem(
             sim, cmin, delta_c, delta, admission=config.admission
         )
     elif policy in SINGLE_SERVER_POLICIES:

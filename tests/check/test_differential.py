@@ -25,6 +25,7 @@ from repro.core.rtt import decompose, decompose_exact
 from repro.core.workload import Workload
 from repro.exceptions import ConfigurationError
 from repro.sched.fcfs import FCFSScheduler
+from repro.sched.sized import BoostScheduler, NudgeScheduler, SRPTScheduler
 
 CORPUS = Path(__file__).resolve().parents[1] / "corpus"
 
@@ -161,6 +162,7 @@ class TestCheckedPolicies:
     def test_default_policy_set(self):
         assert set(DEFAULT_POLICIES) == {
             "fcfs", "split", "fairqueue", "wf2q", "miser", "edf",
+            "srpt", "nudge", "boost", "splitfarm",
         }
 
     def test_run_checked_rejects_bad_config(self):
@@ -227,5 +229,126 @@ class TestCheckingScheduler:
             got = checker.select(expected.arrival)
             assert got is expected
             checker.on_completion(got)
+        assert checker.violations == []
+        assert checker.pending() == 0
+
+
+class TestSizedInvariantDetection:
+    """The auditor must catch deliberately broken size-aware schedulers."""
+
+    def test_srpt_order_violation(self):
+        import heapq
+
+        class WorstFirstSRPT(SRPTScheduler):
+            def select(self, now):
+                if not self._heap:
+                    return None
+                entry = max(self._heap)
+                self._heap.remove(entry)
+                heapq.heapify(self._heap)
+                return entry[2]
+
+        checker = CheckingScheduler(WorstFirstSRPT(service_rate=2.0))
+        small = Request(arrival=0.0, index=0, service_demand=1.0)
+        large = Request(arrival=0.0, index=1, service_demand=5.0)
+        checker.on_arrival(small)
+        checker.on_arrival(large)
+        assert checker.select(0.0) is large
+        assert any(v.invariant == "srpt-order" for v in checker.violations)
+
+    def test_srpt_preempt_violation(self):
+        class EagerSRPT(SRPTScheduler):
+            def should_preempt(self, current, remaining, now):
+                return True  # preempt even when the queue has more work
+
+        checker = CheckingScheduler(EagerSRPT(service_rate=2.0))
+        checker.on_arrival(Request(arrival=0.0, index=0, service_demand=4.0))
+        current = Request(arrival=0.0, index=1, service_demand=1.0)
+        # Queued minimum is 4 work units; in-flight remainder is only 2.
+        assert checker.should_preempt(current, remaining=1.0, now=0.5)
+        assert any(v.invariant == "srpt-preempt" for v in checker.violations)
+
+    def test_nudge_swap_budget_violation(self):
+        class GreedyNudge(NudgeScheduler):
+            def on_arrival(self, request):
+                if self._queue and self.is_small(request):
+                    self._queue.appendleft(request)  # jumps the whole queue
+                else:
+                    self._queue.append(request)
+
+        checker = CheckingScheduler(GreedyNudge())
+        for index, demand in enumerate((8.0, 8.0, 1.0)):
+            checker.on_arrival(
+                Request(arrival=0.1 * index, index=index, service_demand=demand)
+            )
+        served = checker.select(0.5)
+        assert served.service_demand == 1.0  # overtook both larges
+        assert any(
+            v.invariant == "nudge-swap-once" for v in checker.violations
+        )
+
+    def test_nudge_double_overtake_violation(self):
+        class RepeatNudge(NudgeScheduler):
+            def on_arrival(self, request):
+                # One-position swap, but with the swap-once ledger gone:
+                # the same large can be overtaken again and again.
+                if len(self._queue) >= 1 and self.is_small(request):
+                    self._queue.insert(len(self._queue) - 1, request)
+                else:
+                    self._queue.append(request)
+
+        checker = CheckingScheduler(RepeatNudge())
+        checker.on_arrival(Request(arrival=0.0, index=0, service_demand=8.0))
+        checker.on_arrival(Request(arrival=0.1, index=1, service_demand=1.0))
+        assert checker.select(0.2).index == 1  # first overtake: within budget
+        checker.on_arrival(Request(arrival=0.3, index=2, service_demand=1.0))
+        assert checker.select(0.4).index == 2  # same large overtaken twice
+        assert any(
+            "second time" in v.detail
+            for v in checker.violations
+            if v.invariant == "nudge-swap-once"
+        )
+
+    def test_boost_order_violation(self):
+        import heapq
+
+        class FIFOBoost(BoostScheduler):
+            def select(self, now):
+                if not self._heap:
+                    return None
+                entry = min(self._heap, key=lambda e: e[1])  # arrival order
+                self._heap.remove(entry)
+                heapq.heapify(self._heap)
+                return entry[2]
+
+        checker = CheckingScheduler(FIFOBoost(scale=1.0))
+        large = Request(arrival=0.0, index=0, service_demand=8.0)  # key -0.125
+        small = Request(arrival=0.5, index=1, service_demand=1.0)  # key -0.5
+        checker.on_arrival(large)
+        checker.on_arrival(small)
+        assert checker.select(0.5) is large
+        assert any(v.invariant == "boost-order" for v in checker.violations)
+
+    def test_clean_srpt_records_nothing(self):
+        checker = CheckingScheduler(SRPTScheduler(service_rate=2.0))
+        small = Request(arrival=0.0, index=0, service_demand=1.0)
+        large = Request(arrival=0.0, index=1, service_demand=5.0)
+        checker.on_arrival(large)
+        checker.on_arrival(small)
+        assert checker.select(0.0) is small
+        checker.on_completion(small)
+        # Preempt path: re-dispatch of the victim is not a double dispatch.
+        victim = checker.select(0.0)
+        assert victim is large
+        assert not checker.should_preempt(victim, remaining=2.5, now=0.5)
+        tiny = Request(arrival=0.5, index=2, service_demand=0.5)
+        checker.on_arrival(tiny)
+        assert checker.should_preempt(victim, remaining=2.0, now=0.5)
+        victim.remaining_service = 2.0
+        checker.on_preempt(victim)
+        assert checker.select(0.5) is tiny
+        checker.on_completion(tiny)
+        assert checker.select(0.75) is victim
+        checker.on_completion(victim)
         assert checker.violations == []
         assert checker.pending() == 0

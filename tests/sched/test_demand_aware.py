@@ -1,0 +1,151 @@
+"""Demand-aware slack regressions: EDF's clock test and Miser's ledger.
+
+These pin the two fixes that made the deferral machinery honest for
+sized requests:
+
+* EDF's ``_overflow_is_safe`` accumulates actual ``service_demand``
+  (unit demand reduces to the seed-era ``(position + 2) * st`` bit for
+  bit) and resolves knife-edge ties with the shared kernel EPS scaled
+  into seconds — not the historical literal ``1e-12``;
+* Miser stores slack in *work* units (``initial_slack`` over
+  ``work_q1``) and burns ``service_demand`` per overflow dispatch, so a
+  demand-8 overflow costs eight unit requests' worth of stored slack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.differential import run_checked
+from repro.core.request import Request
+from repro.core.workload import Workload
+from repro.perf.scalar import EPS
+from repro.sched.classifier import OnlineRTTClassifier
+from repro.sched.edf import EDFScheduler
+from repro.sched.miser import MiserScheduler
+
+
+def make_edf(cmin=10.0, delta=0.2, rate=None):
+    return EDFScheduler(
+        OnlineRTTClassifier(cmin, delta), service_rate=rate or cmin
+    )
+
+
+def sized_bimodal(seed=0, n=60, horizon=12.0):
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.uniform(0.0, horizon, n))
+    sizes = rng.choice([1.0, 8.0], size=n, p=[0.85, 0.15])
+    return Workload(arrivals, name="bimodal", sizes=sizes)
+
+
+class TestEDFTieTolerance:
+    def test_tolerance_scales_with_service_time(self):
+        edf = make_edf(cmin=10.0)
+        assert edf.tie_tolerance == pytest.approx(EPS * 0.1)
+        fast = make_edf(cmin=1000.0)
+        assert fast.tie_tolerance == pytest.approx(EPS * 0.001)
+
+    def test_exact_tie_is_safe(self):
+        # cmin=10, delta=0.2: one queued primary, one overflow.  At
+        # now = deadline - 2*st the deferred finish hits the deadline
+        # exactly — a tie, resolved permissively.
+        edf = make_edf(cmin=10.0, delta=0.2)
+        primary = Request(arrival=0.0)
+        overflow = Request(arrival=0.0)
+        edf.on_arrival(primary)
+        edf.on_arrival(Request(arrival=0.0))  # fills Q1 (limit 2)
+        edf.on_arrival(overflow)
+        # deadline 0.2; three units of work deferred-finish at now+0.3.
+        assert edf._overflow_is_safe(0.2 - 0.3) is True
+
+    def test_sub_eps_overshoot_is_still_a_tie(self):
+        edf = make_edf(cmin=10.0, delta=0.2)
+        edf.on_arrival(Request(arrival=0.0))
+        edf.on_arrival(Request(arrival=0.0))
+        edf.on_arrival(Request(arrival=0.0))
+        tie_now = 0.2 - 0.3
+        assert edf._overflow_is_safe(tie_now + 0.25 * edf.tie_tolerance) is True
+
+    def test_beyond_eps_overshoot_is_unsafe(self):
+        edf = make_edf(cmin=10.0, delta=0.2)
+        edf.on_arrival(Request(arrival=0.0))
+        edf.on_arrival(Request(arrival=0.0))
+        edf.on_arrival(Request(arrival=0.0))
+        tie_now = 0.2 - 0.3
+        assert edf._overflow_is_safe(tie_now + 1e-6) is False
+
+    def test_overflow_demand_weighs_in(self):
+        # A demand-5 overflow head defers the primary five slots, not
+        # one: unsafe at a clock where a unit overflow is still safe.
+        def build(demand):
+            edf = make_edf(cmin=10.0, delta=0.1)  # limit 1
+            edf.on_arrival(Request(arrival=1.0))  # primary, deadline 1.1
+            edf.on_arrival(Request(arrival=1.0, service_demand=demand))
+            return edf
+
+        heavy, unit = build(5.0), build(1.0)
+        assert heavy._q2[0].service_demand == 5.0
+        # Unit overflow defers the primary to now + 0.2 (safe until 0.9);
+        # the heavy one to now + 0.6 (safe only until 0.5).
+        assert unit._overflow_is_safe(0.7) is True
+        assert heavy._overflow_is_safe(0.4) is True
+        assert heavy._overflow_is_safe(0.7) is False
+
+
+class TestMiserWorkSlack:
+    def test_slack_burns_by_demand(self):
+        # cmin=10, delta=0.5 -> max_queue 5.  One primary queued
+        # (work 1), slack = 5 - 1 = 4: a demand-4 overflow head fits
+        # exactly; after serving it the slack is spent.
+        miser = MiserScheduler(OnlineRTTClassifier(10.0, 0.5))
+        primaries = [Request(arrival=0.0) for _ in range(5)]
+        for r in primaries:
+            miser.on_arrival(r)
+        heavy = Request(arrival=0.0, service_demand=4.0)
+        miser.on_arrival(heavy)  # overflow: Q1 at its count limit
+        assert heavy.is_overflow
+        # Serve four primaries out; one primary remains with stored
+        # slack 0 (admitted at position 5 of 5).
+        for _ in range(4):
+            assert miser.select(0.0).is_primary
+        # Remaining primary's slack is 0 < heavy's demand: must serve Q1.
+        assert miser.select(0.0) is primaries[4]
+        assert miser.select(0.0) is heavy
+
+    def test_unit_demand_matches_count_slack(self):
+        # With unit demands the work ledger reduces to the seed-era count
+        # arithmetic: an overflow is served iff every queued primary was
+        # admitted with slack >= 1.  A full burst leaves a zero-slack
+        # primary (admitted at position 5 of 5), pinning the queue; after
+        # the burst drains, a lone fresh primary (slack 4) lets the
+        # leftover overflow jump ahead of it.
+        miser = MiserScheduler(OnlineRTTClassifier(10.0, 0.5))  # limit 5
+        burst = [Request(arrival=0.0) for _ in range(6)]
+        for r in burst:
+            miser.on_arrival(r)
+        tail = burst[5]
+        assert tail.is_overflow
+        # min_slack is 0 (< 1): primaries must be served first.
+        for _ in range(5):
+            served = miser.select(0.0)
+            assert served.is_primary
+            served.completion = 0.1
+            miser.on_completion(served)
+        late = Request(arrival=1.0)
+        miser.on_arrival(late)
+        assert late.is_primary
+        assert miser.min_slack == 4
+        assert miser.select(1.0) is tail
+        assert miser.slack_dispatches == 1
+        assert miser.select(1.0) is late
+
+
+class TestSlackConsistencyUnderBimodal:
+    def test_miser_probe_clean(self):
+        workload = sized_bimodal(seed=21)
+        run = run_checked(workload, "miser", 6.0, 4.0, 0.5)
+        assert run.ok, [str(v) for v in run.violations]
+
+    def test_edf_probe_clean(self):
+        workload = sized_bimodal(seed=22)
+        run = run_checked(workload, "edf", 6.0, 4.0, 0.5)
+        assert run.ok, [str(v) for v in run.violations]

@@ -1,0 +1,202 @@
+"""Tests for the size-aware schedulers (SRPT / Nudge / Boost)."""
+
+import pytest
+
+from repro.core.request import Request
+from repro.exceptions import ConfigurationError
+from repro.sched.registry import (
+    ALL_POLICIES,
+    CLASSIFIER_FREE_POLICIES,
+    SINGLE_SERVER_POLICIES,
+    TOPOLOGY_POLICIES,
+    make_scheduler,
+)
+from repro.sched.sized import BoostScheduler, NudgeScheduler, SRPTScheduler
+from repro.server.constant_rate import constant_rate_server
+from repro.server.driver import DeviceDriver
+from repro.sim.engine import Simulator
+from repro.sim.source import WorkloadSource
+from repro.core.workload import Workload
+
+import numpy as np
+
+
+def req(t=0.0, demand=1.0, index=0):
+    return Request(arrival=t, index=index, service_demand=demand)
+
+
+class TestSRPT:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="service_rate"):
+            SRPTScheduler(service_rate=0.0)
+
+    def test_orders_by_demand(self):
+        srpt = SRPTScheduler(service_rate=2.0)
+        big, small, mid = req(0.0, 5.0, 0), req(0.1, 1.0, 1), req(0.2, 2.0, 2)
+        for r in (big, small, mid):
+            srpt.on_arrival(r)
+        assert [srpt.select(1.0) for _ in range(3)] == [small, mid, big]
+
+    def test_preempt_decision_uses_work_units(self):
+        srpt = SRPTScheduler(service_rate=2.0)
+        srpt.on_arrival(req(0.0, 1.0))
+        # In-flight remainder 1.0 s = 2.0 work units > 1.0 queued.
+        assert srpt.should_preempt(req(0.0, 4.0), remaining=1.0, now=0.0)
+        # Remainder 0.4 s = 0.8 work units < 1.0 queued: keep serving.
+        assert not srpt.should_preempt(req(0.0, 4.0), remaining=0.4, now=0.0)
+
+    def test_equal_work_does_not_thrash(self):
+        srpt = SRPTScheduler(service_rate=2.0)
+        srpt.on_arrival(req(0.0, 1.0))
+        assert not srpt.should_preempt(req(0.0, 1.0), remaining=0.5, now=0.0)
+
+    def test_preempted_request_requeues_on_remainder(self):
+        srpt = SRPTScheduler(service_rate=2.0)
+        victim = req(0.0, 4.0)
+        victim.remaining_service = 0.25  # 0.5 work units left
+        srpt.on_preempt(victim)
+        srpt.on_arrival(req(0.0, 1.0))
+        assert srpt.min_remaining() == pytest.approx(0.5)
+        assert srpt.select(1.0) is victim
+
+    def test_on_preempt_does_not_count_as_arrival(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        srpt = SRPTScheduler(service_rate=2.0).bind_metrics(registry)
+        victim = req(0.0, 4.0)
+        srpt.on_arrival(victim)
+        srpt.select(0.0)
+        before = registry.value("sched.srpt.arrivals")
+        victim.remaining_service = 0.5
+        srpt.on_preempt(victim)
+        assert registry.value("sched.srpt.arrivals") == before
+
+
+class TestNudge:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="small_threshold"):
+            NudgeScheduler(small_threshold=-1.0)
+
+    def test_small_swaps_ahead_of_large_tail(self):
+        nudge = NudgeScheduler()
+        large = req(0.0, 8.0, index=1)
+        small = req(0.1, 1.0, index=2)
+        nudge.on_arrival(large)
+        nudge.on_arrival(small)
+        assert nudge.swaps == [(2, 1)]
+        assert nudge.select(0.2) is small
+        assert nudge.select(0.2) is large
+
+    def test_large_is_nudged_at_most_once(self):
+        nudge = NudgeScheduler()
+        large = req(0.0, 8.0, index=1)
+        nudge.on_arrival(large)
+        nudge.on_arrival(req(0.1, 1.0, index=2))  # swaps
+        nudge.on_arrival(req(0.2, 1.0, index=3))  # tail is large again, but burned
+        assert len(nudge.swaps) == 1
+        order = [nudge.select(0.3).index for _ in range(3)]
+        assert order == [2, 1, 3]
+
+    def test_small_tail_never_swapped(self):
+        nudge = NudgeScheduler()
+        nudge.on_arrival(req(0.0, 1.0, index=1))
+        nudge.on_arrival(req(0.1, 1.0, index=2))
+        assert nudge.swaps == []
+        assert nudge.select(0.2).index == 1
+
+    def test_requeue_is_not_nudge_eligible(self):
+        nudge = NudgeScheduler()
+        large = req(0.0, 8.0, index=1)
+        small = req(0.1, 1.0, index=2)
+        nudge.on_arrival(large)
+        nudge.on_requeue(small)  # joins the tail plainly
+        assert nudge.swaps == []
+        assert nudge.select(0.2) is large
+
+
+class TestBoost:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            BoostScheduler(scale=0.0)
+
+    def test_small_gets_larger_head_start(self):
+        boost = BoostScheduler(scale=1.0)
+        assert boost.key_of(req(5.0, 0.5)) < boost.key_of(req(5.0, 8.0))
+
+    def test_serves_in_boosted_order(self):
+        boost = BoostScheduler(scale=1.0)
+        large = req(0.0, 8.0, index=1)   # key -0.125
+        small = req(0.5, 1.0, index=2)   # key -0.5
+        boost.on_arrival(large)
+        boost.on_arrival(small)
+        assert boost.select(1.0) is small
+        assert boost.select(1.0) is large
+
+    def test_head_start_is_bounded(self):
+        boost = BoostScheduler(scale=1.0)
+        early_large = req(0.0, 8.0, index=1)  # key -0.125
+        late_small = req(2.0, 1.0, index=2)   # key 1.0: too late to jump
+        boost.on_arrival(early_large)
+        boost.on_arrival(late_small)
+        assert boost.select(2.0) is early_large
+
+
+class TestRegistry:
+    def test_policy_tuples_compose(self):
+        assert set(ALL_POLICIES) == set(SINGLE_SERVER_POLICIES) | set(
+            TOPOLOGY_POLICIES
+        )
+        assert {"srpt", "nudge", "boost"} <= set(SINGLE_SERVER_POLICIES)
+        assert {"srpt", "nudge", "boost", "fcfs"} == set(CLASSIFIER_FREE_POLICIES)
+        assert "splitfarm" in TOPOLOGY_POLICIES
+
+    def test_make_scheduler_builds_sized_family(self):
+        srpt = make_scheduler("srpt", 3.0, 2.0, 0.5)
+        assert isinstance(srpt, SRPTScheduler)
+        assert srpt.service_rate == pytest.approx(5.0)
+        assert isinstance(make_scheduler("nudge", 3.0, 2.0, 0.5), NudgeScheduler)
+        boost = make_scheduler("boost", 3.0, 2.0, 0.5)
+        assert isinstance(boost, BoostScheduler)
+        assert boost.scale == pytest.approx(0.5)
+
+    def test_topology_policies_redirect(self):
+        with pytest.raises(ConfigurationError, match="two-server"):
+            make_scheduler("splitfarm", 3.0, 2.0, 0.5)
+
+
+class TestEndToEnd:
+    def _run(self, policy, arrivals, sizes, rate=2.0):
+        sim = Simulator()
+        scheduler = make_scheduler(policy, rate / 2, rate / 2, 0.5)
+        server = constant_rate_server(sim, rate, name=policy)
+        driver = DeviceDriver(sim, server, scheduler)
+        workload = Workload(
+            np.asarray(arrivals, dtype=float),
+            name="t",
+            sizes=np.asarray(sizes, dtype=float),
+        )
+        WorkloadSource(sim, workload, driver).start()
+        sim.run()
+        return driver
+
+    def test_srpt_preempts_long_job(self):
+        # Long job alone at t=0; small arrives mid-service and overtakes.
+        driver = self._run("srpt", [0.0, 1.0], [8.0, 1.0])
+        assert driver.preemptions == 1
+        small, large = sorted(driver.completed, key=lambda r: r.arrival)[::-1][:2]
+        by_index = {r.index: r for r in driver.completed}
+        assert by_index[1].completion < by_index[0].completion
+        # Total work is conserved: makespan = total demand / rate.
+        assert max(r.completion for r in driver.completed) == pytest.approx(4.5)
+
+    def test_srpt_unit_demands_never_preempt(self):
+        driver = self._run("srpt", [0.0, 0.1, 0.2, 0.3], [1.0] * 4)
+        assert driver.preemptions == 0
+
+    def test_all_single_server_policies_conserve(self):
+        arrivals = np.sort(np.random.default_rng(3).uniform(0, 5, 40))
+        sizes = np.random.default_rng(4).choice([0.5, 1.0, 6.0], size=40)
+        for policy in SINGLE_SERVER_POLICIES:
+            driver = self._run(policy, arrivals, sizes, rate=20.0)
+            assert len(driver.completed) == 40, policy

@@ -14,7 +14,11 @@ import pytest
 from repro.core.request import QoSClass
 from repro.core.slack import is_unconstrained
 from repro.core.workload import Workload
-from repro.sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
+from repro.sched.registry import (
+    CLASSIFIER_FREE_POLICIES,
+    SINGLE_SERVER_POLICIES,
+    make_scheduler,
+)
 from repro.server.base import Server
 from repro.server.constant_rate import ConstantRateModel
 from repro.server.degraded import Brownout, DegradedModel, FlakyModel
@@ -68,7 +72,7 @@ class TestPoliciesUnderDegradation:
         driver, _ = _run(workload, policy, model_factory)
         by_class = sum(len(c) for c in driver.by_class.values())
         assert by_class == len(driver.overall) == len(workload)
-        if policy != "fcfs":
+        if policy not in CLASSIFIER_FREE_POLICIES:
             # Classifying policies put every request in Q1 or Q2.
             assert len(driver.by_class[QoSClass.UNCLASSIFIED]) == 0
 
@@ -77,7 +81,7 @@ class TestPoliciesUnderDegradation:
         driver, _ = _run(workload, policy, model_factory)
         classifier = driver.classifier
         if classifier is None:
-            pytest.skip("fcfs does not classify")
+            pytest.skip(f"{policy} does not classify")
         assert classifier.len_q1 == 0  # all slots released at the end
         primary = len(driver.by_class[QoSClass.PRIMARY])
         assert primary > 0

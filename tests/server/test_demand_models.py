@@ -1,0 +1,98 @@
+"""Demand-aware service models: disk/SSD must scale by service_demand.
+
+The regression this pins: both models used to ignore ``service_demand``
+entirely, so an 8x request cost the same as a unit one.  The fix scales
+the per-request work terms by demand while keeping unit-demand runs
+bit-identical to the historical model (the golden corpus certifies the
+same property end-to-end).
+"""
+
+import pytest
+
+from repro.core.request import IOKind, Request
+from repro.server.disk import DiskModel, DiskParameters
+from repro.server.ssd import SSDModel, SSDParameters
+
+
+def disk_request(demand=1.0, lba=0, size=4096):
+    return Request(arrival=0.0, lba=lba, size=size, service_demand=demand)
+
+
+class TestDiskDemand:
+    PARAMS = DiskParameters(
+        seek_min=1e-3,
+        seek_max=1e-3,
+        rotation_time=1e-12,  # effectively deterministic
+        transfer_rate=1e6,
+        controller_overhead=2e-3,
+    )
+
+    def test_unit_demand_bit_identical(self):
+        a = DiskModel(self.PARAMS, seed=0)
+        b = DiskModel(self.PARAMS, seed=0)
+        for lba in (0, 10_000_000, 5_000):
+            assert a.service_time(disk_request(1.0, lba=lba)) == b.service_time(
+                Request(arrival=0.0, lba=lba, size=4096)
+            )
+
+    def test_demand_scales_seek_and_transfer(self):
+        # Same seek distance and size, demand 1 vs 4: the mechanical
+        # terms quadruple, the fixed overhead does not.
+        one = DiskModel(self.PARAMS, seed=0)
+        four = DiskModel(self.PARAMS, seed=0)
+        t1 = one.service_time(disk_request(1.0, lba=50_000_000))
+        t4 = four.service_time(disk_request(4.0, lba=50_000_000))
+        seek = 1e-3
+        transfer = 4096 / 1e6
+        assert t4 - t1 == pytest.approx(3.0 * (seek + transfer), rel=1e-6)
+
+    def test_fixed_costs_not_scaled(self):
+        # Sequential request (no seek): only transfer scales.
+        model = DiskModel(self.PARAMS, seed=0)
+        model.service_time(disk_request(1.0, lba=0))
+        t1 = model.service_time(disk_request(1.0, lba=0))
+        model2 = DiskModel(self.PARAMS, seed=0)
+        model2.service_time(disk_request(1.0, lba=0))
+        t8 = model2.service_time(disk_request(8.0, lba=0))
+        transfer = 4096 / 1e6
+        assert t8 - t1 == pytest.approx(7.0 * transfer, rel=1e-6)
+
+
+class TestSSDDemand:
+    PARAMS = SSDParameters(jitter=0.0, gc_threshold=4)
+
+    def test_unit_demand_bit_identical(self):
+        a = SSDModel(self.PARAMS, seed=0)
+        b = SSDModel(self.PARAMS, seed=0)
+        for kind in (IOKind.READ, IOKind.WRITE, IOKind.WRITE):
+            r_new = Request(arrival=0.0, kind=kind, service_demand=1.0)
+            r_old = Request(arrival=0.0, kind=kind)
+            assert a.service_time(r_new) == b.service_time(r_old)
+
+    def test_read_latency_scales(self):
+        model = SSDModel(self.PARAMS, seed=0)
+        t1 = model.service_time(Request(arrival=0.0, service_demand=1.0))
+        t8 = model.service_time(Request(arrival=0.0, service_demand=8.0))
+        assert t8 == pytest.approx(8.0 * t1)
+
+    def test_write_debt_accrues_by_demand(self):
+        model = SSDModel(self.PARAMS, seed=0)
+        # One demand-4 write reaches the threshold by itself and eats
+        # the GC pause — four unit writes' worth of debt in one request.
+        t = model.service_time(
+            Request(arrival=0.0, kind=IOKind.WRITE, service_demand=4.0)
+        )
+        assert model.gc_events == 1
+        assert t == pytest.approx(
+            4.0 * self.PARAMS.write_latency + self.PARAMS.gc_pause
+        )
+        # Debt resets: the next unit write is stall-free.
+        model.service_time(Request(arrival=0.0, kind=IOKind.WRITE))
+        assert model.gc_events == 1
+
+    def test_unit_writes_keep_gc_cadence(self):
+        # Historical behavior: a GC stall every gc_threshold unit writes.
+        model = SSDModel(self.PARAMS, seed=0)
+        for _ in range(8):
+            model.service_time(Request(arrival=0.0, kind=IOKind.WRITE))
+        assert model.gc_events == 2

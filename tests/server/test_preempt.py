@@ -1,0 +1,122 @@
+"""Tests for server preemption plumbing (preempt / remaining / resume)."""
+
+import numpy as np
+import pytest
+
+from repro.core.request import Request
+from repro.core.workload import Workload
+from repro.exceptions import SchedulerError
+from repro.faults.harness import run_resilient
+from repro.faults.schedule import Crash, FaultSchedule
+from repro.sched.registry import make_scheduler
+from repro.server.constant_rate import constant_rate_server
+from repro.server.driver import DeviceDriver
+from repro.sim.engine import Simulator
+from repro.sim.source import WorkloadSource
+
+
+class TestServerPreempt:
+    def test_preempt_idle_rejected(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 10.0)
+        with pytest.raises(SchedulerError, match="no request in service"):
+            server.preempt()
+
+    def test_remaining_seconds(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 2.0)  # 0.5 s per unit request
+        assert server.remaining_seconds() == 0.0
+        server.dispatch(Request(arrival=0.0))
+        assert server.remaining_seconds() == pytest.approx(0.5)
+
+    def test_preempt_returns_request_with_remainder(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 2.0)
+        request = Request(arrival=0.0, service_demand=4.0)  # 2.0 s service
+        server.dispatch(request)
+        sim.run(until=0.5)
+        preempted = server.preempt()
+        assert preempted is request
+        assert not server.busy
+        assert request.remaining_service == pytest.approx(1.5)
+        assert request.dispatch is None
+
+    def test_resume_serves_exact_remainder(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 2.0)
+        done = []
+        server.on_completion = done.append
+        request = Request(arrival=0.0, service_demand=4.0)
+        server.dispatch(request)
+        sim.run(until=0.5)
+        server.preempt()
+        # Re-dispatch at t=1.0: completion must land at 1.0 + 1.5.
+        sim.schedule(1.0, lambda: server.dispatch(request))
+        sim.run()
+        assert done == [request]
+        assert request.completion == pytest.approx(2.5)
+        assert request.remaining_service is None
+
+    def test_busy_time_refunded_on_preempt(self):
+        sim = Simulator()
+        server = constant_rate_server(sim, 2.0)
+        request = Request(arrival=0.0, service_demand=4.0)
+        server.dispatch(request)
+        sim.run(until=0.5)
+        server.preempt()
+        # Only the 0.5 s actually served counts toward utilization.
+        assert server.utilization() == pytest.approx(1.0)
+        sim.run(until=1.0)
+        assert server.utilization() == pytest.approx(0.5)
+
+
+class TestDriverPreempt:
+    def _run(self, arrivals, sizes, rate=2.0):
+        sim = Simulator()
+        scheduler = make_scheduler("srpt", rate / 2, rate / 2, 0.5)
+        server = constant_rate_server(sim, rate, name="srpt")
+        driver = DeviceDriver(sim, server, scheduler)
+        workload = Workload(
+            np.asarray(arrivals, dtype=float),
+            name="t",
+            sizes=np.asarray(sizes, dtype=float),
+        )
+        WorkloadSource(sim, workload, driver).start()
+        sim.run()
+        return driver
+
+    def test_small_arrival_preempts_large(self):
+        driver = self._run([0.0, 0.5], [8.0, 1.0])
+        assert driver.preemptions == 1
+        by_index = {r.index: r for r in driver.completed}
+        # Small finishes at 1.0 (preempts at 0.5, serves 0.5 s); the
+        # large job's remainder resumes and ends at total work / rate.
+        assert by_index[1].completion == pytest.approx(1.0)
+        assert by_index[0].completion == pytest.approx(4.5)
+
+    def test_fcfs_driver_never_preempts(self):
+        sim = Simulator()
+        scheduler = make_scheduler("fcfs", 1.0, 1.0, 0.5)
+        server = constant_rate_server(sim, 2.0, name="fcfs")
+        driver = DeviceDriver(sim, server, scheduler)
+        workload = Workload(
+            np.array([0.0, 0.5]), name="t", sizes=np.array([8.0, 1.0])
+        )
+        WorkloadSource(sim, workload, driver).start()
+        sim.run()
+        assert driver.preemptions == 0
+        by_index = {r.index: r for r in driver.completed}
+        assert by_index[1].completion > by_index[0].completion
+
+    def test_preemption_composes_with_faults(self):
+        # Crash mid-run with requeue: conservation must hold and the
+        # preemption path must not lose the in-flight request.
+        arrivals = np.sort(np.random.default_rng(11).uniform(0, 8, 30))
+        sizes = np.random.default_rng(12).choice([0.5, 1.0, 8.0], size=30)
+        workload = Workload(arrivals, name="t", sizes=sizes)
+        schedule = FaultSchedule([Crash(start=2.0, duration=1.0)])
+        result = run_resilient(
+            workload, "srpt", 3.0, 3.0, 0.5, schedule=schedule, seed=5
+        )
+        assert result.conservation is not None
+        assert result.conservation.ok

@@ -41,11 +41,14 @@ PUBLIC_API = {
         "EDFScheduler", "DRRScheduler", "DeficitRoundRobin",
         "PClockScheduler", "FlowSLA", "feasible",
         "make_scheduler", "ALL_POLICIES", "SINGLE_SERVER_POLICIES",
+        "TOPOLOGY_POLICIES", "CLASSIFIER_FREE_POLICIES",
+        "SRPTScheduler", "NudgeScheduler", "BoostScheduler",
     ],
     "repro.server": [
         "Server", "ServiceTimeModel", "ConstantRateModel",
         "constant_rate_server", "DiskModel", "DiskParameters",
         "DeviceDriver", "SplitSystem", "ServerFarm", "constant_rate_farm",
+        "SizeSplitSystem",
         "Brownout", "DegradedModel", "FlakyModel",
     ],
     "repro.sim": [
@@ -129,5 +132,6 @@ def test_policy_registry_matches_docs():
     from repro.sched import ALL_POLICIES
 
     assert set(ALL_POLICIES) == {
-        "fcfs", "split", "fairqueue", "wf2q", "drr", "miser", "edf"
+        "fcfs", "split", "fairqueue", "wf2q", "drr", "miser", "edf",
+        "srpt", "nudge", "boost", "splitfarm",
     }
