@@ -83,12 +83,27 @@ class CapacityPlanner:
         ``tolerance``.
     tolerance:
         Bracket width at which a real-valued search stops.
+    device_depth:
+        Depth of the driver-level in-flight window the served stack will
+        run with (:mod:`repro.server.aqm`).  A depth-``k`` device queue
+        holds up to ``k`` requests the scheduler can no longer reorder,
+        so a freshly admitted request may wait ``k·E[S]`` behind them —
+        time spent *inside* the deadline budget.  When set, admission is
+        evaluated against the effective bound
+        ``δ_eff(C) = δ − k·mean_demand / C`` (see
+        :meth:`effective_delta`) instead of raw ``δ``.  ``None``
+        (default) plans against ``δ`` exactly as before.
+    mean_demand:
+        Mean per-request service demand used in the δ_eff correction;
+        defaults to the workload's own mean (``total_work / n``).
     """
 
     workload: Workload
     delta: float
     integral: bool = True
     tolerance: float = 0.25
+    device_depth: int | None = None
+    mean_demand: float | None = None
     _instants: np.ndarray = field(init=False, repr=False)
     _counts: np.ndarray = field(init=False, repr=False)
     _cache: dict = field(init=False, repr=False, default_factory=dict)
@@ -96,6 +111,17 @@ class CapacityPlanner:
     def __post_init__(self) -> None:
         if self.delta <= 0:
             raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        if self.device_depth is not None and self.device_depth < 1:
+            raise ConfigurationError(
+                f"device_depth must be >= 1, got {self.device_depth}"
+            )
+        if self.mean_demand is None:
+            n = len(self.workload)
+            self.mean_demand = self.workload.total_work / n if n else 1.0
+        if self.mean_demand <= 0:
+            raise ConfigurationError(
+                f"mean_demand must be positive, got {self.mean_demand}"
+            )
         # Keep the batched representation as contiguous arrays: the
         # kernel backends consume them zero-copy (the scalar fallback
         # converts internally).
@@ -109,13 +135,34 @@ class CapacityPlanner:
     def n_requests(self) -> int:
         return len(self.workload)
 
+    def effective_delta(self, capacity: float) -> float:
+        """The deadline budget left after the device queue's share.
+
+        ``δ_eff(C) = δ − device_depth·mean_demand / C``, clamped at
+        zero.  Monotone increasing in ``C`` (a faster server drains the
+        device queue faster), so the admitted count stays monotone in
+        capacity and every cached evaluation still brackets correctly.
+        With no ``device_depth`` this is just ``δ``.
+        """
+        if self.device_depth is None or capacity <= 0:
+            return self.delta
+        return max(0.0, self.delta - self.device_depth * self.mean_demand / capacity)
+
     def admitted_at(self, capacity: float) -> int:
         """Requests RTT admits at ``capacity`` (memoized)."""
         if capacity <= 0:
             return 0
         cached = self._cache.get(capacity)
         if cached is None:
-            cached = count_admitted(self._instants, self._counts, capacity, self.delta)
+            delta_eff = self.effective_delta(capacity)
+            if delta_eff <= 0.0:
+                # The device queue alone eats the whole budget: nothing
+                # can be guaranteed at this capacity.
+                cached = 0
+            else:
+                cached = count_admitted(
+                    self._instants, self._counts, capacity, delta_eff
+                )
             self._cache[capacity] = cached
         return cached
 
@@ -136,6 +183,12 @@ class CapacityPlanner:
             {float(c) for c in capacities if c > 0} - self._cache.keys()
         )
         if not fresh:
+            return
+        if self.device_depth is not None:
+            # δ_eff varies per capacity, which the single-delta kernel
+            # sweep cannot express; evaluate (and memoize) one by one.
+            for capacity in fresh:
+                self.admitted_at(capacity)
             return
         counts = _kernels.count_admitted_sweep(
             self._instants, self._counts, fresh, self.delta

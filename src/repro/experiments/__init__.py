@@ -1,6 +1,6 @@
 """Reproduction experiments: one module per table/figure of the paper."""
 
-from . import extensions, resilience, sensitivity, verify, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
+from . import bufferbloat, extensions, resilience, sensitivity, verify, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
 from .common import (
     FIGURE6_EDGES,
     PAPER_DELTAS,
@@ -11,6 +11,7 @@ from .common import (
 from .runner import EXPERIMENTS, run_experiment
 
 __all__ = [
+    "bufferbloat",
     "extensions",
     "resilience",
     "sensitivity",

@@ -35,6 +35,7 @@ from ..sched.registry import (
     SINGLE_SERVER_POLICIES,
     make_scheduler,
 )
+from ..server.aqm import make_window, resolve_aqm
 from ..server.cluster import SplitSystem
 from ..server.constant_rate import ConstantRateModel
 from ..server.driver import DeviceDriver
@@ -81,6 +82,11 @@ class ResilientRunResult:
     recoveries: int | None = None
     final_limit: int | None = None
     samples: list = field(repr=False, default_factory=list)
+    #: AQM window policy the stack ran with (``None`` = no window).
+    aqm: str | None = None
+    #: Final window statistics (``snapshot()`` dict(s)); ``None`` when
+    #: no window was armed.
+    window: dict | None = None
 
     def fraction_within(self, bound: float | None = None) -> float:
         return self.overall.fraction_within(self.delta if bound is None else bound)
@@ -131,6 +137,8 @@ def run_resilient(
     seed: int = 0,
     sample_interval: float | None = None,
     metrics: MetricsRegistry | None = None,
+    aqm: str | None = None,
+    aqm_shared: bool = False,
 ) -> ResilientRunResult:
     """Serve ``workload`` under ``policy`` on a fault-injected stack.
 
@@ -140,12 +148,19 @@ def run_resilient(
     :class:`AdaptiveShaper` on the sampler cadence (``sample_interval``
     defaults to ``delta`` when unset).  The conservation invariant is
     asserted before returning.
+
+    ``aqm`` arms a driver-level in-flight window (:mod:`repro.server.
+    aqm`): crash-requeues and retries then re-enter through the
+    scheduler and must re-acquire a window slot — backpressure instead
+    of instantaneous requeue.  The ledger gains a ``window`` residency
+    bucket, asserted drained (zero) at end of run.
     """
     if cmin <= 0 or delta_c < 0 or delta <= 0:
         raise ConfigurationError(
             f"bad configuration: cmin={cmin}, delta_c={delta_c}, delta={delta}"
         )
     schedule = schedule if schedule is not None else FaultSchedule()
+    aqm = resolve_aqm(aqm)
     sim = Simulator()
     state = FaultState()
 
@@ -165,6 +180,7 @@ def run_resilient(
         system = SplitSystem(
             sim, cmin, delta_c, delta,
             metrics=metrics, server_factory=factory, retry=retry,
+            aqm=aqm, aqm_shared=aqm_shared,
         )
         servers = system.servers
         loop_driver = system.primary_driver
@@ -195,6 +211,7 @@ def run_resilient(
         system = SizeSplitSystem(
             sim, cmin, delta_c, delta,
             metrics=metrics, farm_factory=farm_factory, retry=retry,
+            aqm=aqm, aqm_shared=aqm_shared,
         )
         servers = system.servers
         loop_driver = system.small_driver
@@ -212,7 +229,10 @@ def run_resilient(
             name=policy,
             inflight=inflight,
         )
-        system = DeviceDriver(sim, server, scheduler, metrics=metrics, retry=retry)
+        system = DeviceDriver(
+            sim, server, scheduler, metrics=metrics, retry=retry,
+            window=make_window(aqm, delta),
+        )
         servers = [server]
         loop_driver = system
         shed_from = system
@@ -261,6 +281,13 @@ def run_resilient(
         dropped=system.dropped,
         shed=system.shed,
     )
+    if aqm is not None:
+        residue = system.fault_ledger().get("window", 0)
+        if residue != 0:
+            raise AssertionError(
+                f"{policy}: window not drained at end of run "
+                f"({residue} requests still resident)"
+            )
 
     by_class = system.by_class
     if policy == "fcfs":
@@ -296,6 +323,8 @@ def run_resilient(
         recoveries=controller.recoveries if controller is not None else None,
         final_limit=classifier.limit if classifier is not None else None,
         samples=sampler.records if sampler is not None else [],
+        aqm=aqm,
+        window=system.window_snapshot() if aqm is not None else None,
     )
 
 
@@ -313,6 +342,8 @@ def run_chaos(
     adaptive: bool | None = None,
     controller_config: ControllerConfig | None = None,
     metrics: MetricsRegistry | None = None,
+    aqm: str | None = None,
+    aqm_shared: bool = False,
 ) -> ResilientRunResult:
     """One chaos-suite run: derive a schedule from ``seed`` and go.
 
@@ -352,4 +383,6 @@ def run_chaos(
         controller_config=controller_config,
         seed=seed,
         metrics=metrics,
+        aqm=aqm,
+        aqm_shared=aqm_shared,
     )

@@ -132,6 +132,18 @@ def _driver_probes(sampler: Sampler, driver, prefix: str = "") -> None:
             sampler.probe(
                 f"{prefix}{short}", lambda name=name: registry.value(name)
             )
+    window = getattr(driver, "window", None)
+    if window is not None:
+        sampler.probe(
+            f"{prefix}aqm_depth",
+            lambda: -1.0 if window.depth is None else float(window.depth),
+        )
+        sampler.probe(f"{prefix}aqm_occupancy", lambda: float(window.occupancy))
+        sampler.probe(f"{prefix}aqm_sojourn", lambda: window.last_sojourn)
+        sampler.probe(
+            f"{prefix}aqm_device_queued",
+            lambda: float(len(driver._device_queue)),
+        )
 
 
 def attach_standard_probes(sampler: Sampler, system) -> Sampler:
@@ -176,11 +188,16 @@ def depth_reconciles(records: Sequence[dict], prefix: str = "") -> bool:
 
     Holds for every sample carrying the counter columns of one driver;
     used by tests and by ``--metrics`` consumers as a trace sanity check.
+    With an AQM window armed, requests staged in the device queue have
+    left the scheduler but not yet started service, so the identity
+    becomes ``queue_depth = arrivals - dispatches - device_queued``.
     """
     keys = (f"{prefix}queue_depth", f"{prefix}arrivals", f"{prefix}dispatches")
+    staged_key = f"{prefix}aqm_device_queued"
     for record in records:
         if not set(keys) <= record.keys():
             continue
-        if record[keys[0]] != record[keys[1]] - record[keys[2]]:
+        staged = record.get(staged_key, 0) or 0
+        if record[keys[0]] != record[keys[1]] - record[keys[2]] - staged:
             return False
     return True

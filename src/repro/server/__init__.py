@@ -1,5 +1,12 @@
 """Storage server models and the device-driver integration layer."""
 
+from .aqm import (
+    AQM_POLICIES,
+    AdaptiveWindow,
+    CoDelWindow,
+    InflightWindow,
+    make_window,
+)
 from .base import Server, ServiceTimeModel
 from .cluster import SplitSystem
 from .constant_rate import ConstantRateModel, constant_rate_server
@@ -11,6 +18,11 @@ from .sizesplit import SizeSplitSystem
 from .ssd import SSDModel, SSDParameters
 
 __all__ = [
+    "AQM_POLICIES",
+    "AdaptiveWindow",
+    "CoDelWindow",
+    "InflightWindow",
+    "make_window",
     "SizeSplitSystem",
     "Server",
     "ServiceTimeModel",

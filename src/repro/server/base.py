@@ -57,6 +57,11 @@ class Server:
         return self._current is not None
 
     @property
+    def concurrency(self) -> int:
+        """Service units (an AQM window must floor at this, or it idles them)."""
+        return 1
+
+    @property
     def current(self) -> Request | None:
         """The request in service, if any."""
         return self._current

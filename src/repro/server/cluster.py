@@ -26,6 +26,7 @@ from ..sched.classifier import OnlineRTTClassifier
 from ..sched.fcfs import FCFSScheduler
 from ..sim.engine import Simulator
 from ..sim.stats import ResponseTimeCollector
+from .aqm import make_window
 from .base import Server
 from .constant_rate import constant_rate_server
 from .driver import DeviceDriver
@@ -62,6 +63,14 @@ class SplitSystem:
         Classifier admission mode: ``"count"`` (the paper's bound) or
         ``"work"`` (cumulative admitted demand bounded by ``C·δ``) — see
         :class:`~repro.sched.classifier.OnlineRTTClassifier`.
+    aqm:
+        Optional in-flight window policy name (see
+        :mod:`repro.server.aqm`).  ``None`` (default) leaves both device
+        queues unbounded-free — the historical dispatch path.
+    aqm_shared:
+        When true, both drivers share one window (a single device budget
+        for the whole split pair, floored at the sum of their service
+        concurrencies); default is a per-driver window each.
     """
 
     def __init__(
@@ -74,6 +83,8 @@ class SplitSystem:
         server_factory: Callable[[Simulator, float, str], Server] | None = None,
         retry=None,
         admission: str = "count",
+        aqm: str | None = None,
+        aqm_shared: bool = False,
     ):
         if delta_c <= 0:
             raise ConfigurationError(
@@ -90,6 +101,9 @@ class SplitSystem:
         factory = server_factory if server_factory is not None else (
             lambda s, capacity, name: constant_rate_server(s, capacity, name)
         )
+        self.aqm = aqm
+        self.aqm_shared = bool(aqm_shared)
+        shared_window = make_window(aqm, delta) if self.aqm_shared else None
         self.primary_driver = DeviceDriver(
             sim,
             factory(sim, cmin, "primary"),
@@ -98,6 +112,7 @@ class SplitSystem:
             metrics_prefix="q1.driver",
             retry=retry,
             classifier=self.classifier,
+            window=shared_window if self.aqm_shared else make_window(aqm, delta),
         )
         overflow_sched = FCFSScheduler()
         # Both servers run FCFS; distinct scheduler names keep their
@@ -111,6 +126,7 @@ class SplitSystem:
             metrics_prefix="q2.driver",
             retry=retry,
             classifier=self.classifier,
+            window=shared_window if self.aqm_shared else make_window(aqm, delta),
         )
         self._m_routed_q1 = self.metrics.counter("split.routed_q1")
         self._m_routed_q2 = self.metrics.counter("split.routed_q2")
@@ -235,11 +251,32 @@ class SplitSystem:
         )
 
     def fault_ledger(self) -> dict[str, int]:
-        """Aggregated conservation buckets across both drivers."""
-        return {
+        """Aggregated conservation buckets across both drivers.
+
+        Per-driver ``window`` residency sums correctly even for a shared
+        window (each driver counts only its own residents).
+        """
+        ledger = {
             "completed": len(self.completed),
             "dropped": len(self.dropped),
             "shed": len(self.shed),
+        }
+        if self.aqm is not None:
+            ledger["window"] = (
+                self.primary_driver._window_resident
+                + self.overflow_driver._window_resident
+            )
+        return ledger
+
+    def window_snapshot(self) -> dict | None:
+        """Window statistics (one dict when shared, per-driver otherwise)."""
+        if self.aqm is None:
+            return None
+        if self.aqm_shared:
+            return self.primary_driver.window_snapshot()
+        return {
+            "q1": self.primary_driver.window_snapshot(),
+            "q2": self.overflow_driver.window_snapshot(),
         }
 
 

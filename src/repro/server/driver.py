@@ -21,10 +21,28 @@ invariant the chaos harness asserts.
 
 With no retry policy and a plain server, none of the fault paths are
 armed and behavior is identical to the pre-fault-plane driver.
+
+Queue-depth management (AQM)
+----------------------------
+When built with an in-flight *window* (:mod:`repro.server.aqm`), the
+driver interposes a bounded device queue between scheduler and server:
+a request leaves the scheduler only when the window has a slot, waits
+in a FIFO device queue for a free service unit, and frees its slot on
+any exit (completion, abort, crash-loss, preemption).  The window
+measures each request's *sojourn* — window entry to service start — at
+dispatch, which is the signal the adaptive controllers
+(:class:`~repro.server.aqm.CoDelWindow` /
+:class:`~repro.server.aqm.AdaptiveWindow`) resize on.  Crash-requeues
+and retries re-enter through the scheduler and must re-acquire a slot,
+so the fault plane exerts *backpressure* instead of requeuing
+instantaneously.  With ``window=None`` (default) none of this exists
+and the dispatch loop is bit-identical to the pre-AQM driver.
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
 from typing import TYPE_CHECKING
 
 from ..core.request import QoSClass, Request
@@ -33,6 +51,7 @@ from ..sim.engine import Simulator
 from ..sim.events import PRIORITY_MONITOR
 from ..sim.stats import RateRecorder, ResponseTimeCollector
 from ..sched.base import Scheduler
+from .aqm import InflightWindow
 from .base import Server
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> server)
@@ -70,6 +89,14 @@ class DeviceDriver:
         scheduler's own ``classifier`` attribute when present (the
         single-server policies); :class:`~repro.server.cluster.
         SplitSystem` passes its front-end classifier explicitly.
+    window:
+        Optional :class:`~repro.server.aqm.InflightWindow` bounding the
+        number of requests in flight at the device (device queue + in
+        service).  May be shared between drivers (the shared-window
+        topologies); the driver raises the window floor by its server's
+        concurrency and keeps a private residency count for its
+        conservation ledger.  ``None`` (default) disables the device
+        queue entirely — the historical unbuffered dispatch loop.
     """
 
     def __init__(
@@ -82,6 +109,7 @@ class DeviceDriver:
         metrics_prefix: str = "driver",
         retry: "RetryPolicy | None" = None,
         classifier: "OnlineRTTClassifier | None" = None,
+        window: InflightWindow | None = None,
     ):
         self.sim = sim
         self.server = server
@@ -112,6 +140,24 @@ class DeviceDriver:
         self.preemptions = 0
         self._preemptive = bool(getattr(scheduler, "preemptive", False))
 
+        # ---- queue-depth management (dormant when window is None) ------
+        self.window = window
+        #: FIFO device queue: requests that left the scheduler but have
+        #: not reached a service unit yet.  Only populated when a window
+        #: is armed — the dormant driver dispatches straight to the
+        #: server.
+        self._device_queue: deque[Request] = deque()
+        #: This driver's share of the window occupancy (a shared window
+        #: counts residents of several drivers; the conservation ledger
+        #: needs the per-driver figure).
+        self._window_resident = 0
+        self._drain_pending = False
+        if window is not None:
+            window.raise_floor(getattr(server, "concurrency", 1))
+            window.add_drain_hook(self._on_window_drain)
+            if self._observed:
+                window.bind_metrics(self.metrics, prefix=f"aqm.{metrics_prefix}")
+
         # ---- resilience plane (all dormant when retry is None and the
         # ---- server has no fault hooks) --------------------------------
         self.retry = retry
@@ -131,7 +177,13 @@ class DeviceDriver:
         self.q1_completed = 0
         self.q1_missed = 0
         self.demotions = 0
+        #: Armed timeout events keyed by a monotonic per-request token
+        #: (set on the request as ``_timeout_token``).  Never keyed by
+        #: ``id(request)``: a dropped request can be garbage-collected
+        #: and its id reused by a *new* request, silently disarming or
+        #: firing the wrong timeout.
         self._timeouts: dict[int, object] = {}
+        self._timeout_seq = itertools.count(1)
         self._m_requeued = self.metrics.counter(f"faults.{metrics_prefix}.requeued")
         self._m_retries = self.metrics.counter(f"faults.{metrics_prefix}.retries")
         self._m_dropped = self.metrics.counter(f"faults.{metrics_prefix}.dropped")
@@ -171,6 +223,7 @@ class DeviceDriver:
         if self.retry is not None:
             self._disarm_timeout(current)
         preempted = self.server.preempt()
+        self._window_exit(preempted)
         self.preemptions += 1
         self._m_preemptions.inc()
         self.scheduler.on_preempt(preempted)
@@ -189,6 +242,11 @@ class DeviceDriver:
         self._completion_hooks.append(hook)
 
     def _try_dispatch(self) -> None:
+        if self.window is not None:
+            self._pull_into_window()
+            self._feed_device()
+            return
+        # Dormant path (no window): dispatch straight from the scheduler.
         # Loop: a multi-unit server (ServerFarm) may have several idle
         # units to fill from the queue in one go.
         while not self.server.busy:
@@ -200,9 +258,65 @@ class DeviceDriver:
             if self.retry is not None:
                 self._arm_timeout(request)
 
+    def _pull_into_window(self) -> None:
+        """Move requests scheduler -> device queue while slots remain.
+
+        This is the backpressure point: a request pulled here has left
+        the scheduler for good (no reordering, no shedding), so the
+        window decides how much of the backlog loses policy protection.
+        """
+        window = self.window
+        while window.has_slot():
+            request = self.scheduler.select(self.sim.now)
+            if request is None:
+                return
+            window.on_enter(request, self.sim.now)
+            self._window_resident += 1
+            self._device_queue.append(request)
+            if self.retry is not None:
+                # Timeouts guard the whole device round trip: armed at
+                # window entry, not service start, so a request rotting
+                # in a bloated device queue still times out and retries.
+                self._arm_timeout(request)
+        if self.scheduler.pending() > 0:
+            window.on_gated()
+
+    def _feed_device(self) -> None:
+        """Start service for queued requests while units are idle."""
+        while not self.server.busy and self._device_queue:
+            request = self._device_queue.popleft()
+            self.window.on_dispatch(request, self.sim.now)
+            self._m_dispatches.inc()
+            self.server.dispatch(request)
+
+    def _window_exit(self, request: Request) -> None:
+        """Release ``request``'s window slot (no-op when no window)."""
+        if self.window is not None and self.window.on_exit(request, self.sim.now):
+            self._window_resident -= 1
+
+    def _on_window_drain(self) -> None:
+        """A window slot freed — possibly by a peer sharing the window.
+
+        Deferred by one zero-delay event so the exiting driver finishes
+        its own completion accounting (and gets first claim on the slot)
+        before this driver pulls; coalesced so a burst of exits queues
+        one poke, not one per exit.
+        """
+        if self._drain_pending or (
+            self.scheduler.pending() == 0 and not self._device_queue
+        ):
+            return
+        self._drain_pending = True
+        self.sim.schedule_after(0.0, self._drain_now)
+
+    def _drain_now(self) -> None:
+        self._drain_pending = False
+        self._try_dispatch()
+
     def _on_completion(self, request: Request) -> None:
         if self.retry is not None:
             self._disarm_timeout(request)
+        self._window_exit(request)
         self.scheduler.on_completion(request)
         self.completed.append(request)
         rt = request.response_time
@@ -230,38 +344,61 @@ class DeviceDriver:
         timeout = self.retry.timeout_for(request)
         if timeout is None:
             return
-        self._timeouts[id(request)] = self.sim.schedule_after(
+        token = next(self._timeout_seq)
+        request._timeout_token = token
+        self._timeouts[token] = self.sim.schedule_after(
             timeout,
             lambda: self._on_timeout(request),
             priority=PRIORITY_MONITOR,
         )
 
     def _disarm_timeout(self, request: Request) -> None:
-        event = self._timeouts.pop(id(request), None)
+        token = getattr(request, "_timeout_token", None)
+        if token is None:
+            return
+        request._timeout_token = None
+        event = self._timeouts.pop(token, None)
         if event is not None:
             event.cancel()
 
     def _on_timeout(self, request: Request) -> None:
         """The per-class dispatch timeout expired with service unfinished."""
-        self._timeouts.pop(id(request), None)
+        self._disarm_timeout(request)
+        if self.window is not None and request in self._device_queue:
+            # Timed out while still waiting in the device queue — the
+            # bufferbloat failure mode the timeout exists to catch.
+            self._device_queue.remove(request)
+            self._window_exit(request)
+            self._m_timeouts.inc()
+            self._retry_request(request)
+            self._try_dispatch()
+            return
         abort = getattr(self.server, "abort", None)
         if abort is None or not abort(request):
             # Not in flight here any more (completed at this same instant,
             # or crash-requeued already) — nothing to retry.
             return
+        self._window_exit(request)
         self._m_timeouts.inc()
         self._retry_request(request)
         self._try_dispatch()
 
     def _on_server_requeue(self, request: Request) -> None:
-        """A crash interrupted ``request`` mid-service; retry it."""
+        """A crash interrupted ``request`` mid-service; retry it.
+
+        With a window armed the slot is released here and re-acquired
+        through the scheduler — a crash no longer refills the device
+        queue instantaneously (backpressure).
+        """
         self._disarm_timeout(request)
+        self._window_exit(request)
         self._m_requeued.inc()
         self._retry_request(request)
 
     def _on_server_loss(self, request: Request) -> None:
         """A crash destroyed ``request`` mid-service; account the loss."""
         self._disarm_timeout(request)
+        self._window_exit(request)
         self._release_slot(request)
         self.dropped.append(request)
         self._m_dropped.inc()
@@ -310,12 +447,26 @@ class DeviceDriver:
             self._m_shed.inc()
 
     def fault_ledger(self) -> dict[str, int]:
-        """Conservation buckets owned by this driver."""
-        return {
+        """Conservation buckets owned by this driver.
+
+        With a window armed the ledger gains a ``window`` bucket — this
+        driver's requests currently resident in the device (queued or in
+        service).  Mid-run, ``completed + dropped + shed`` undercounts by
+        exactly that residency; at end of run it must be zero.  Without a
+        window the historical three-bucket shape is preserved.
+        """
+        ledger = {
             "completed": len(self.completed),
             "dropped": len(self.dropped),
             "shed": len(self.shed),
         }
+        if self.window is not None:
+            ledger["window"] = self._window_resident
+        return ledger
+
+    def window_snapshot(self) -> dict | None:
+        """The armed window's statistics, or ``None`` when dormant."""
+        return None if self.window is None else self.window.snapshot()
 
     # ------------------------------------------------------------------
     # Reporting helpers
@@ -326,9 +477,10 @@ class DeviceDriver:
         return self.overall.fraction_within(bound)
 
     def primary_deadline_misses(self) -> int:
-        """Primary-class requests that completed after their deadline."""
-        return sum(
-            1
-            for r in self.completed
-            if r.qos_class is QoSClass.PRIMARY and not r.met_deadline
-        )
+        """Primary-class requests that completed after their deadline.
+
+        Returns the incrementally maintained ``q1_missed`` counter (the
+        conservation tests assert it agrees with an O(n) rescan of
+        ``completed``).
+        """
+        return self.q1_missed

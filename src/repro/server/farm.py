@@ -89,6 +89,11 @@ class ServerFarm:
         return list(self._units)
 
     @property
+    def concurrency(self) -> int:
+        """Service units — the AQM window floor for a farm."""
+        return len(self._units)
+
+    @property
     def busy(self) -> bool:
         """True iff every unit is serving a request (or down)."""
         return all(unit.busy for unit in self._units)

@@ -34,6 +34,7 @@ from ..sched.classifier import OnlineRTTClassifier
 from ..sched.fcfs import FCFSScheduler
 from ..sim.engine import Simulator
 from ..sim.stats import ResponseTimeCollector
+from .aqm import make_window
 from .base import Server
 from .driver import DeviceDriver
 from .farm import ServerFarm, constant_rate_farm
@@ -70,6 +71,12 @@ class SizeSplitSystem:
         Optional retry policy handed to both drivers.
     admission:
         Classifier admission mode (``"count"`` or ``"work"``).
+    aqm:
+        Optional in-flight window policy name (:mod:`repro.server.aqm`);
+        ``None`` keeps the historical unbuffered dispatch path.
+    aqm_shared:
+        Share one window across both partitions (floored at the sum of
+        their farm concurrencies) instead of one window per partition.
     """
 
     def __init__(
@@ -85,6 +92,8 @@ class SizeSplitSystem:
         farm_factory: Callable[[Simulator, float, int, str], ServerFarm] | None = None,
         retry=None,
         admission: str = "count",
+        aqm: str | None = None,
+        aqm_shared: bool = False,
     ):
         total = cmin + delta_c
         if total <= 0:
@@ -108,6 +117,9 @@ class SizeSplitSystem:
             self.classifier = OnlineRTTClassifier(cmin, delta, mode=admission)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         factory = farm_factory if farm_factory is not None else constant_rate_farm
+        self.aqm = aqm
+        self.aqm_shared = bool(aqm_shared)
+        shared_window = make_window(aqm, delta) if self.aqm_shared else None
         # Primary requests land on either side (placement is by size), so
         # *both* schedulers must release the classifier's Q1 slot.
         self.small_driver = DeviceDriver(
@@ -118,6 +130,7 @@ class SizeSplitSystem:
             metrics_prefix="small.driver",
             retry=retry,
             classifier=self.classifier,
+            window=shared_window if self.aqm_shared else make_window(aqm, delta),
         )
         self.large_driver = DeviceDriver(
             sim,
@@ -127,6 +140,7 @@ class SizeSplitSystem:
             metrics_prefix="large.driver",
             retry=retry,
             classifier=self.classifier,
+            window=shared_window if self.aqm_shared else make_window(aqm, delta),
         )
         self._m_routed_small = self.metrics.counter("splitfarm.routed_small")
         self._m_routed_large = self.metrics.counter("splitfarm.routed_large")
@@ -228,10 +242,27 @@ class SizeSplitSystem:
 
     def fault_ledger(self) -> dict[str, int]:
         """Aggregated conservation buckets across both drivers."""
-        return {
+        ledger = {
             "completed": len(self.completed),
             "dropped": len(self.dropped),
             "shed": len(self.shed),
+        }
+        if self.aqm is not None:
+            ledger["window"] = (
+                self.small_driver._window_resident
+                + self.large_driver._window_resident
+            )
+        return ledger
+
+    def window_snapshot(self) -> dict | None:
+        """Window statistics (one dict when shared, per-partition otherwise)."""
+        if self.aqm is None:
+            return None
+        if self.aqm_shared:
+            return self.small_driver.window_snapshot()
+        return {
+            "small": self.small_driver.window_snapshot(),
+            "large": self.large_driver.window_snapshot(),
         }
 
 

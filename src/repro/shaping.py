@@ -37,6 +37,7 @@ from .obs.registry import MetricsRegistry
 from .obs.sampler import Sampler, attach_standard_probes
 from .perf import engines
 from .sched.registry import ALL_POLICIES, SINGLE_SERVER_POLICIES, make_scheduler
+from .server.aqm import AQM_POLICIES, make_window, resolve_aqm
 from .server.cluster import SplitSystem
 from .server.sizesplit import SizeSplitSystem
 from .server.constant_rate import constant_rate_server
@@ -81,6 +82,17 @@ class RunConfig:
         Classifier admission mode: ``"count"`` (the paper's
         ``lenQ1 < floor(C·δ)``) or ``"work"`` (cumulative admitted
         ``service_demand`` bounded by ``C·δ``).
+    aqm:
+        In-flight window policy bounding the device queue between
+        scheduler and server — one of
+        :data:`repro.server.aqm.AQM_POLICIES` (``"unbounded"``,
+        ``"static"``, ``"codel"``, ``"adaptive"``).  ``None`` (default)
+        means no device queue at all: the historical dispatch path,
+        bit-identical to pre-AQM builds.
+    aqm_shared:
+        For the two-driver topologies (``split``/``splitfarm``): share a
+        single window across both drivers instead of one each.  Ignored
+        by single-server policies.
     """
 
     cmin: float
@@ -91,6 +103,8 @@ class RunConfig:
     sample_interval: float | None = None
     engine: str | None = None
     admission: str = "count"
+    aqm: str | None = None
+    aqm_shared: bool = False
 
     def __post_init__(self) -> None:
         if self.cmin <= 0 or self.delta_c < 0 or self.delta <= 0:
@@ -103,6 +117,13 @@ class RunConfig:
                 f"unknown admission mode {self.admission!r}; "
                 "choose from ['count', 'work']"
             )
+        if self.aqm is not None and self.aqm not in AQM_POLICIES:
+            raise ConfigurationError(
+                f"unknown aqm window policy {self.aqm!r}; "
+                f"choose from {sorted(AQM_POLICIES)} or None"
+            )
+        if self.aqm_shared and self.aqm is None:
+            raise ConfigurationError("aqm_shared requires an aqm policy")
 
     def with_engine(self, engine: str | None) -> "RunConfig":
         """A copy selecting a different execution engine."""
@@ -171,6 +192,11 @@ class PolicyRunResult:
     engine: str = "scalar"
     #: Admission mode the classifier ran in ("count" or "work").
     admission: str = "count"
+    #: In-flight window policy the driver ran with (``None`` = no window).
+    aqm: str | None = None
+    #: Final window statistics (``snapshot()`` dict, or per-driver dicts
+    #: for the two-driver topologies); ``None`` when no window was armed.
+    window: dict | None = None
 
     @property
     def total_capacity(self) -> float:
@@ -269,6 +295,10 @@ def _run_policy(
     workload: Workload, policy: str, config: RunConfig
 ) -> PolicyRunResult:
     cmin, delta_c, delta = config.cmin, config.delta_c, config.delta
+    # Resolve the effective window policy (aqm= argument, Registry
+    # override, or REPRO_AQM) once, so engine eligibility, the armed
+    # window, and the result snapshot can never disagree.
+    aqm = resolve_aqm(config.aqm)
     requested = engines.resolve_engine(config.engine)
     if requested != "scalar":
         if policy not in ALL_POLICIES:
@@ -279,6 +309,7 @@ def _run_policy(
             metrics=config.metrics,
             sample_interval=config.sample_interval,
             admission=config.admission,
+            aqm=aqm,
         )
         if eligible:
             return _run_policy_batch(workload, policy, cmin, delta_c, delta)
@@ -294,14 +325,28 @@ def _run_policy(
         if config.record_rates is not None:
             raise ConfigurationError("rate recording is single-server only")
         system = SplitSystem(
-            sim, cmin, delta_c, delta, metrics=metrics, admission=config.admission
+            sim,
+            cmin,
+            delta_c,
+            delta,
+            metrics=metrics,
+            admission=config.admission,
+            aqm=aqm,
+            aqm_shared=config.aqm_shared,
         )
         sink = system
     elif policy == "splitfarm":
         if config.record_rates is not None:
             raise ConfigurationError("rate recording is single-server only")
         system = SizeSplitSystem(
-            sim, cmin, delta_c, delta, metrics=metrics, admission=config.admission
+            sim,
+            cmin,
+            delta_c,
+            delta,
+            metrics=metrics,
+            admission=config.admission,
+            aqm=aqm,
+            aqm_shared=config.aqm_shared,
         )
         sink = system
     elif policy in SINGLE_SERVER_POLICIES:
@@ -315,6 +360,7 @@ def _run_policy(
             scheduler,
             record_rates=config.record_rates,
             metrics=metrics,
+            window=make_window(aqm, delta),
         )
         sink = system
     else:
@@ -382,6 +428,8 @@ def _run_policy(
         ),
         telemetry=telemetry,
         admission=config.admission,
+        aqm=aqm,
+        window=system.window_snapshot() if aqm is not None else None,
     )
 
 

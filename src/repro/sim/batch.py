@@ -75,6 +75,7 @@ def supports(
     metrics=None,
     sample_interval: float | None = None,
     admission: str = "count",
+    aqm: str | None = None,
 ) -> tuple[bool, str]:
     """Whether the batch engine can run this configuration, and why not.
 
@@ -99,6 +100,8 @@ def supports(
         return False, "periodic samplers tick on the event loop"
     if admission != "count":
         return False, "work-bound admission needs the classifier's work ledger"
+    if aqm is not None:
+        return False, "an AQM window gates dispatch per-event at the driver"
     return True, "eligible"
 
 

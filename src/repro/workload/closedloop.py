@@ -22,6 +22,7 @@ from ..core.request import QoSClass, Request
 from ..core.workload import Workload
 from ..exceptions import ConfigurationError, SimulationError
 from ..sched.registry import SINGLE_SERVER_POLICIES, make_scheduler
+from ..server.aqm import make_window, resolve_aqm
 from ..server.cluster import SplitSystem
 from ..server.constant_rate import constant_rate_server
 from ..server.sizesplit import SizeSplitSystem
@@ -48,7 +49,9 @@ class ClosedLoopResult:
     primary_misses:
         Guaranteed-class completions later than ``arrival + delta``.
     ledger:
-        Conservation buckets ``{"completed", "dropped", "shed"}``.
+        Conservation buckets ``{"completed", "dropped", "shed"}`` (plus
+        a ``"window"`` residency bucket, zero at end of run, when an
+        AQM window was armed).
     """
 
     policy: str
@@ -117,21 +120,36 @@ def run_closed_loop(
             "use a plain RunConfig(cmin, delta_c, delta)"
         )
     cmin, delta_c, delta = config.cmin, config.delta_c, config.delta
+    aqm = resolve_aqm(config.aqm)
     sim = Simulator()
     if policy == "split":
         system = SplitSystem(
-            sim, cmin, delta_c, delta, admission=config.admission
+            sim,
+            cmin,
+            delta_c,
+            delta,
+            admission=config.admission,
+            aqm=aqm,
+            aqm_shared=config.aqm_shared,
         )
     elif policy == "splitfarm":
         system = SizeSplitSystem(
-            sim, cmin, delta_c, delta, admission=config.admission
+            sim,
+            cmin,
+            delta_c,
+            delta,
+            admission=config.admission,
+            aqm=aqm,
+            aqm_shared=config.aqm_shared,
         )
     elif policy in SINGLE_SERVER_POLICIES:
         scheduler = make_scheduler(
             policy, cmin, delta_c, delta, admission=config.admission
         )
         server = constant_rate_server(sim, cmin + delta_c, name=policy)
-        system = DeviceDriver(sim, server, scheduler)
+        system = DeviceDriver(
+            sim, server, scheduler, window=make_window(aqm, delta)
+        )
     else:
         raise ConfigurationError(f"unknown policy {policy!r}")
 

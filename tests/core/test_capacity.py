@@ -200,3 +200,72 @@ class TestKneeShape:
         planner = CapacityPlanner(w, 0.05)
         curve = planner.capacity_curve([0.9, 1.0])
         assert curve[1.0] / curve[0.9] < 1.3
+
+
+class TestDeviceDepthCorrection:
+    """``device_depth`` plans against ``δ_eff(C) = δ − k·E[S]/C`` — the
+    deadline budget left after the driver's in-flight window."""
+
+    def test_validation(self, bursty_workload):
+        with pytest.raises(ConfigurationError, match="device_depth"):
+            CapacityPlanner(bursty_workload, 0.05, device_depth=0)
+        with pytest.raises(ConfigurationError, match="mean_demand"):
+            CapacityPlanner(bursty_workload, 0.05, mean_demand=0.0)
+
+    def test_effective_delta_without_depth_is_delta(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05)
+        assert planner.effective_delta(10.0) == 0.05
+        assert planner.effective_delta(1e6) == 0.05
+
+    def test_effective_delta_monotone_in_capacity(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05, device_depth=4)
+        deltas = [planner.effective_delta(c) for c in (50.0, 100.0, 200.0, 1e6)]
+        assert deltas == sorted(deltas)
+        assert deltas[-1] == pytest.approx(0.05, rel=1e-3)
+        assert all(0.0 <= d <= 0.05 for d in deltas)
+
+    def test_budget_eaten_entirely_admits_nothing(self, bursty_workload):
+        planner = CapacityPlanner(bursty_workload, 0.05, device_depth=4)
+        # 4 unit-demand residents at 10 IOPS need 0.4 s >> 0.05 budget.
+        assert planner.effective_delta(10.0) == 0.0
+        assert planner.admitted_at(10.0) == 0
+
+    def test_deeper_queue_needs_more_capacity(self, bursty_workload):
+        plain = CapacityPlanner(bursty_workload, 0.05).min_capacity(0.9)
+        caps = [
+            CapacityPlanner(bursty_workload, 0.05, device_depth=k).min_capacity(0.9)
+            for k in (1, 4, 16)
+        ]
+        assert caps == sorted(caps)
+        assert caps[0] >= plain
+
+    def test_admitted_never_exceeds_uncorrected(self, bursty_workload):
+        plain = CapacityPlanner(bursty_workload, 0.05)
+        depth = CapacityPlanner(bursty_workload, 0.05, device_depth=8)
+        for capacity in (40.0, 80.0, 160.0, 320.0):
+            assert depth.admitted_at(capacity) <= plain.admitted_at(capacity)
+
+    def test_prefill_agrees_with_direct_evaluation(self, bursty_workload):
+        """The per-capacity prefill loop (the kernel sweep can't vary
+        δ_eff) must land exactly the direct results in the cache."""
+        a = CapacityPlanner(bursty_workload, 0.05, device_depth=4)
+        b = CapacityPlanner(bursty_workload, 0.05, device_depth=4)
+        grid = [40.0, 60.0, 90.0, 130.0]
+        a.prefill(grid)
+        assert {c: a._cache[c] for c in grid} == {
+            c: b.admitted_at(c) for c in grid
+        }
+
+    def test_prefill_does_not_change_min_capacity(self, bursty_workload):
+        warm = CapacityPlanner(bursty_workload, 0.05, device_depth=4)
+        warm.prefill(np.linspace(10.0, 400.0, 40).tolist())
+        cold = CapacityPlanner(bursty_workload, 0.05, device_depth=4)
+        for fraction in (0.8, 0.95, 1.0):
+            assert warm.min_capacity(fraction) == cold.min_capacity(fraction)
+
+    def test_mean_demand_defaults_to_workload_mean(self):
+        wl = Workload([0.0, 1.0, 2.0], sizes=[2.0, 4.0, 6.0], name="sized")
+        planner = CapacityPlanner(wl, 0.5, device_depth=2)
+        assert planner.mean_demand == pytest.approx(4.0)
+        # δ_eff(C) = 0.5 − 2·4/C
+        assert planner.effective_delta(32.0) == pytest.approx(0.25)

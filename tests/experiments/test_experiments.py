@@ -14,7 +14,13 @@ from repro.experiments import (
     figure8,
     table1,
 )
-from repro.experiments import extensions, resilience, sensitivity, workbound
+from repro.experiments import (
+    bufferbloat,
+    extensions,
+    resilience,
+    sensitivity,
+    workbound,
+)
 from repro.experiments.runner import ORDER, main
 
 #: Small scale: fast but still structurally meaningful.
@@ -407,3 +413,41 @@ class TestWorkbound:
     def test_render(self, result):
         text = workbound.render(result)
         assert "work-bound" in text and "conserved" in text
+
+
+class TestBufferbloat:
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return bufferbloat.run(config)
+
+    def test_registered_but_not_in_order(self):
+        assert "bufferbloat" in EXPERIMENTS
+        assert "bufferbloat" not in ORDER
+
+    def test_full_grid(self, result):
+        assert [(c.aqm, c.scenario) for c in result.cells] == [
+            (aqm or "none", scenario)
+            for aqm in bufferbloat.AQMS
+            for scenario in bufferbloat.SCENARIOS
+        ]
+
+    def test_every_cell_conserves(self, result):
+        for cell in result.cells:
+            assert cell.conserved, (cell.aqm, cell.scenario)
+
+    def test_unbounded_queue_degrades_q1(self, result):
+        cells = {(c.aqm, c.scenario): c for c in result.cells}
+        bloated = cells[("unbounded", "open")]
+        baseline = cells[("none", "open")]
+        assert bloated.primary_misses > baseline.primary_misses
+        assert bloated.q1_completed < baseline.q1_completed
+
+    def test_managed_windows_recover(self, result):
+        cells = {(c.aqm, c.scenario): c for c in result.cells}
+        bloated = cells[("unbounded", "open")]
+        for aqm in ("static", "codel", "adaptive"):
+            assert cells[(aqm, "open")].primary_misses < bloated.primary_misses
+
+    def test_render(self, result):
+        text = bufferbloat.render(result)
+        assert "Bufferbloat" in text and "aqm" in text

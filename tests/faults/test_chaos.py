@@ -162,3 +162,86 @@ class TestHealthyPathIdentical:
         assert plain.primary_misses == resilient.primary_misses
         assert list(plain.primary.samples) == list(resilient.primary.samples)
         assert list(plain.overflow.samples) == list(resilient.overflow.samples)
+
+
+class TestMissCounterAgreement:
+    """``primary_deadline_misses()`` returns the incrementally maintained
+    ``q1_missed`` counter; it must agree with an O(n) rescan of the
+    completed ledger under chaos (retries, demotions, drops and all)."""
+
+    @pytest.mark.parametrize("policy", RESILIENCE_POLICIES)
+    def test_counter_agrees_with_rescan(self, workload, policy):
+        from repro.core.request import QoSClass
+
+        result = run_chaos(workload, policy, CMIN, DELTA_C, DELTA, seed=0)
+        rescan = sum(
+            1
+            for r in result.completed
+            if r.qos_class is QoSClass.PRIMARY and not r.met_deadline
+        )
+        assert result.primary_misses == rescan
+
+
+class TestWindowedChaos:
+    """Chaos with an AQM window armed: conservation extends to window
+    residency, and every window drains by end of run."""
+
+    @pytest.mark.parametrize("aqm", ["static", "codel"])
+    @pytest.mark.parametrize("policy", ["miser", "split"])
+    def test_conserves_and_drains(self, workload, policy, aqm):
+        result = run_chaos(
+            workload, policy, CMIN, DELTA_C, DELTA, seed=1, aqm=aqm
+        )
+        assert result.conservation.ok, result.conservation.summary()
+        assert result.aqm == aqm
+        snap = result.window
+        windows = [snap] if "policy" in snap else list(snap.values())
+        assert windows and all(w["occupancy"] == 0 for w in windows)
+
+    def test_shared_window_under_chaos(self, workload):
+        result = run_chaos(
+            workload,
+            "split",
+            CMIN,
+            DELTA_C,
+            DELTA,
+            seed=2,
+            aqm="static",
+            aqm_shared=True,
+        )
+        assert result.conservation.ok, result.conservation.summary()
+        assert result.window["policy"] == "static"
+        assert result.window["occupancy"] == 0
+
+    def test_timeouts_rescue_device_queue_rot(self):
+        """A request rotting in a bloated device queue behind a slow
+        server is timed out, pulled from the queue, and retried — the
+        failure mode the window-entry timeout exists to catch."""
+        from repro.faults import RetryPolicy
+        from repro.server.aqm import InflightWindow
+        from repro.server.constant_rate import ConstantRateModel
+        from repro.faults.server import FaultableServer
+        from repro.sched.registry import make_scheduler
+        from repro.server.driver import DeviceDriver
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        server = FaultableServer(sim, ConstantRateModel(0.25), name="slow")
+        driver = DeviceDriver(
+            sim,
+            server,
+            make_scheduler("fcfs", CMIN, DELTA_C, DELTA),
+            retry=RetryPolicy(timeout_q2=1.0, max_retries=1),
+            window=InflightWindow(depth=8),
+        )
+        from repro.core.request import Request
+
+        requests = [Request(arrival=0.0, index=i) for i in range(4)]
+        for r in requests:
+            sim.schedule(0.0, lambda r=r: driver.on_arrival(r))
+        sim.run(until=30.0)
+        # 4 s service vs 1 s timeout: every attempt times out; the three
+        # device-queued requests timed out *in the queue*, not in service.
+        assert driver.completed == []
+        assert sorted(r.index for r in driver.dropped) == [0, 1, 2, 3]
+        assert driver.fault_ledger()["window"] == 0

@@ -174,3 +174,79 @@ class TestCrashIntegration:
         sim.run()
         assert len(driver.completed) == 5
         assert driver.dropped == []
+
+
+class TestTimeoutTokenKeying:
+    """Regression suite for the timeout table's keying scheme.
+
+    The table was once keyed by ``id(request)``: a dropped request could
+    be garbage-collected and its id reused by a *new* request, silently
+    disarming (or firing) the wrong timeout.  It is now keyed by a
+    monotonic per-arm token stored on the request, so aliasing is
+    structurally impossible — these tests pin that contract.
+    """
+
+    def test_table_keyed_by_token_not_id(self):
+        sim, server, driver = _stack(
+            rate=0.01, retry=RetryPolicy(timeout_q1=50.0, timeout_q2=50.0)
+        )
+        request = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        sim.run(until=0.5)
+        # Tokens are small monotonic integers from the driver's own
+        # sequence — never the interpreter's object id.
+        assert request._timeout_token == 1
+        assert set(driver._timeouts) == {1}
+
+    def test_each_arm_gets_a_fresh_token(self):
+        """Every retry re-arm advances the token; stale tokens are gone
+        from the table the moment the old timeout is consumed."""
+        sim, server, driver = _stack(
+            rate=0.01,
+            retry=RetryPolicy(timeout_q1=0.5, timeout_q2=0.5, max_retries=3),
+        )
+        request = Request(arrival=0.0)
+        tokens = []
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        for t in (0.1, 0.7, 1.3, 1.9):
+            sim.schedule(t, lambda: tokens.append(request._timeout_token))
+        sim.run(until=2.0)
+        live = [tok for tok in tokens if tok is not None]
+        assert live == sorted(set(live))  # strictly increasing
+        assert len(set(live)) > 1  # re-arms really produced new tokens
+        # At any instant the table holds exactly the currently armed
+        # token, so finishing the run leaves at most one.
+        assert set(driver._timeouts) <= {max(live)}
+
+    def test_disarm_is_idempotent_and_stale_safe(self):
+        sim, server, driver = _stack(
+            rate=0.01, retry=RetryPolicy(timeout_q1=50.0, timeout_q2=50.0)
+        )
+        request = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        sim.run(until=0.1)
+        first = request._timeout_token
+        stale_event = driver._timeouts[first]
+        driver._disarm_timeout(request)
+        assert request._timeout_token is None
+        assert driver._timeouts == {}
+        driver._disarm_timeout(request)  # second disarm: no-op
+        driver._arm_timeout(request)
+        assert request._timeout_token > first  # fresh token, not reuse
+        # Cancelling the stale event again cannot touch the new arm.
+        stale_event.cancel()
+        assert set(driver._timeouts) == {request._timeout_token}
+
+    def test_dropped_request_leaves_no_stale_entry(self):
+        """Budget exhaustion removes every trace from the table — the
+        precondition for id reuse to have been dangerous."""
+        sim, server, driver = _stack(
+            rate=0.01,
+            retry=RetryPolicy(timeout_q1=0.5, timeout_q2=0.5, max_retries=1),
+        )
+        request = Request(arrival=0.0)
+        sim.schedule(0.0, lambda: driver.on_arrival(request))
+        sim.run(until=10.0)
+        assert driver.dropped == [request]
+        assert driver._timeouts == {}
+        assert request._timeout_token is None

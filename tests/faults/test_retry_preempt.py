@@ -1,0 +1,166 @@
+"""Retry × preemption interaction.
+
+A preemptive scheduler (SRPT / Nudge) can pull a request off the server
+while its retry timeout is armed.  The driver must disarm exactly that
+one timeout — a preemption is not a failure, so it must never burn
+retry budget or double-retry — and re-arm a fresh timeout when the
+request is re-dispatched.  Runs go through a
+:class:`~repro.check.invariants.CheckingScheduler` so the scheduler-side
+invariants (dispatch-before-completion, preemption legality) are
+audited at the same time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.invariants import CheckingScheduler
+from repro.core.request import Request
+from repro.core.workload import Workload
+from repro.faults import FaultableServer, RetryPolicy
+from repro.faults.invariants import assert_conservation
+from repro.sched.registry import make_scheduler
+from repro.server.constant_rate import ConstantRateModel
+from repro.server.driver import DeviceDriver
+from repro.sim.engine import Simulator
+from repro.sim.source import WorkloadSource
+
+CMIN, DELTA_C, DELTA = 8.0, 2.0, 0.5
+
+
+def _stack(policy, rate=1.0, retry=None):
+    sim = Simulator()
+    checker = CheckingScheduler(make_scheduler(policy, CMIN, DELTA_C, DELTA))
+    server = FaultableServer(sim, ConstantRateModel(rate), name="srv")
+    driver = DeviceDriver(sim, server, checker, retry=retry)
+    return sim, server, checker, driver
+
+
+@pytest.mark.parametrize("policy", ["srpt"])
+class TestPreemptionDisarms:
+    """SRPT is the only true preemptor: Nudge swaps *queued* requests
+    (which hold no timeout — timeouts arm at dispatch), so the
+    disarm-on-preempt path is SRPT's to exercise."""
+
+    def test_preempt_disarms_exactly_one_timeout(self, policy):
+        """At the preemption instant the victim's timeout is gone and
+        only the preemptor's is armed."""
+        sim, server, checker, driver = _stack(
+            policy, rate=1.0, retry=RetryPolicy(timeout_q1=50.0, timeout_q2=50.0)
+        )
+        long = Request(arrival=0.0, service_demand=4.0)
+        short = Request(arrival=0.0, service_demand=0.5)
+        sim.schedule(0.0, lambda: driver.on_arrival(long))
+        sim.schedule(1.0, lambda: driver.on_arrival(short))
+        state = {}
+
+        def audit():
+            state["current"] = server.current
+            state["tokens"] = dict(driver._timeouts)
+            state["long_token"] = long._timeout_token
+            state["short_token"] = short._timeout_token
+
+        sim.schedule(1.1, audit)
+        sim.run()
+        assert state["current"] is short  # the preemption happened
+        assert state["long_token"] is None  # victim's timeout disarmed
+        assert set(state["tokens"]) == {state["short_token"]}
+        assert driver.preemptions == 1
+
+    def test_preempted_request_never_double_retries(self, policy):
+        """Preemption burns no retry budget: both requests complete with
+        zero retries and the conservation ledger balances."""
+        sim, server, checker, driver = _stack(
+            policy, rate=1.0, retry=RetryPolicy(timeout_q1=50.0, timeout_q2=50.0)
+        )
+        long = Request(arrival=0.0, service_demand=4.0)
+        short = Request(arrival=0.0, service_demand=0.5)
+        sim.schedule(0.0, lambda: driver.on_arrival(long))
+        sim.schedule(1.0, lambda: driver.on_arrival(short))
+        sim.run()
+        assert sorted(r.index for r in driver.completed) == [
+            r.index for r in (long, short)
+        ]
+        assert long.retries == 0 and short.retries == 0
+        assert driver.demotions == 0
+        assert driver._timeouts == {}
+        assert_conservation([long, short], driver.completed)
+        assert checker.violations == []
+
+    def test_redispatch_rearms_fresh_timeout(self, policy):
+        """A preempted-then-resumed request that then stalls must still
+        time out: the re-dispatch armed a fresh (later) timeout."""
+        sim, server, checker, driver = _stack(
+            policy, rate=1.0, retry=RetryPolicy(timeout_q1=3.0, timeout_q2=3.0)
+        )
+        long = Request(arrival=0.0, service_demand=4.0)
+        short = Request(arrival=0.0, service_demand=0.5)
+        sim.schedule(0.0, lambda: driver.on_arrival(long))
+        sim.schedule(1.0, lambda: driver.on_arrival(short))
+        tokens = []
+        sim.schedule(0.5, lambda: tokens.append(long._timeout_token))
+        sim.schedule(2.0, lambda: tokens.append(long._timeout_token))
+        sim.run()
+        # Armed at t=0 (token t0), disarmed by the preemption at t=1,
+        # re-armed on re-dispatch at t=1.5 with a strictly newer token.
+        assert tokens[1] is not None and tokens[1] > tokens[0]
+        # The long request resumed at 1.5 with 3.0 s of work left and a
+        # 3.0 s timeout: it must complete (at 4.5), not get retried by a
+        # leftover timeout from the first dispatch.
+        assert long in driver.completed and long.retries == 0
+        assert checker.violations == []
+
+class TestNudgeSwap:
+    def test_swap_leaves_timeout_accounting_alone(self):
+        """A nudge swap reorders the queue before dispatch; neither
+        participant holds a timeout yet, so the swap must not touch the
+        table or burn budget."""
+        sim, server, checker, driver = _stack(
+            "nudge", rate=1.0, retry=RetryPolicy(timeout_q1=50.0, timeout_q2=50.0)
+        )
+        blocker = Request(arrival=0.0, service_demand=1.0)
+        large = Request(arrival=0.1, service_demand=6.0)
+        small = Request(arrival=0.2, service_demand=0.5)
+        for t, r in ((0.0, blocker), (0.1, large), (0.2, small)):
+            sim.schedule(t, lambda r=r: driver.on_arrival(r))
+        state = {}
+        sim.schedule(0.3, lambda: state.update(tokens=dict(driver._timeouts)))
+        sim.run()
+        assert checker.inner.swaps  # the swap actually happened
+        # Only the in-service blocker was armed at audit time.
+        assert set(state["tokens"]) == {1}
+        # Small completes before large (the point of the swap), nobody
+        # was retried, and the table drained.
+        assert small.completion < large.completion
+        assert all(r.retries == 0 for r in (blocker, large, small))
+        assert driver._timeouts == {}
+        assert checker.violations == []
+
+
+@pytest.mark.parametrize("policy", ["srpt", "nudge"])
+class TestPreemptRetryMix:
+    def test_chaos_mix_conserves_with_preemption_and_retry(self, policy):
+        """A bursty sized workload under preemption + tight timeouts:
+        every arrival lands in exactly one ledger and the invariant
+        auditor stays silent."""
+        gen = np.random.default_rng(11)
+        arrivals = np.sort(gen.uniform(0.0, 20.0, 120))
+        sizes = gen.choice([0.2, 1.0, 6.0], size=120, p=[0.5, 0.4, 0.1])
+        workload = Workload(arrivals, sizes=sizes, name="preempt-mix")
+        sim, server, checker, driver = _stack(
+            policy,
+            rate=2.0,
+            retry=RetryPolicy(
+                timeout_q1=2.0, timeout_q2=8.0, max_retries=2, backoff_base=0.1
+            ),
+        )
+        source = WorkloadSource(sim, workload, driver)
+        source.start()
+        sim.run()
+        assert_conservation(
+            source.requests, driver.completed, driver.dropped, driver.shed
+        )
+        assert checker.violations == []
+        assert driver._timeouts == {}
+        # No request ever exceeds its retry budget + initial attempt.
+        for request in driver.completed + driver.dropped:
+            assert request.retries <= 3

@@ -153,3 +153,39 @@ class TestRunClosedLoop:
             run_closed_loop(
                 "nope", self.CONFIG, n_users=2, think_time=1.0, horizon=5.0
             )
+
+
+class TestClosedLoopAQM:
+    """Closed-loop population against an AQM-windowed stack: the window
+    adds a fourth (residency) ledger bucket that must drain to zero."""
+
+    @pytest.mark.parametrize("policy", ["split", "miser", "fcfs"])
+    def test_window_bucket_drains(self, policy):
+        config = RunConfig(4.0, 2.0, 0.5, aqm="static")
+        result = run_closed_loop(
+            policy, config, n_users=6, think_time=0.4, horizon=20.0, seed=2
+        )
+        assert result.conserved()
+        assert result.ledger["window"] == 0
+        assert result.ledger["completed"] == len(result.submitted)
+
+    def test_shared_window_split(self):
+        config = RunConfig(4.0, 2.0, 0.5, aqm="codel", aqm_shared=True)
+        result = run_closed_loop(
+            "split", config, n_users=8, think_time=0.2, horizon=20.0, seed=3
+        )
+        assert result.conserved()
+        assert result.ledger["window"] == 0
+
+    def test_dormant_identical_with_and_without_aqm_field(self):
+        """aqm=None must be byte-identical to the pre-AQM closed loop."""
+        plain = run_closed_loop(
+            "miser", RunConfig(4.0, 2.0, 0.5), n_users=6,
+            think_time=0.4, horizon=20.0, seed=2,
+        )
+        dormant = run_closed_loop(
+            "miser", RunConfig(4.0, 2.0, 0.5, aqm=None), n_users=6,
+            think_time=0.4, horizon=20.0, seed=2,
+        )
+        assert list(plain.overall.samples) == list(dormant.overall.samples)
+        assert "window" not in dormant.ledger
