@@ -23,6 +23,7 @@ from .core.rtt import decompose, decompose_fluid
 from .core.sla import GraduatedSLA
 from .core.workload import Workload
 from .exceptions import ReproError
+from .serve import AdmissionService, Autoscaler, AutoscalerConfig, ServiceHarness
 from .shaping import (
     PolicyRunResult,
     RunConfig,
@@ -43,6 +44,10 @@ __all__ = [
     "GraduatedSLA",
     "Workload",
     "ReproError",
+    "AdmissionService",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ServiceHarness",
     "PolicyRunResult",
     "RunConfig",
     "ShapingOutcome",

@@ -11,7 +11,11 @@ Three verification passes, composable in one invocation:
 * ``--differential N`` — run ``N`` fuzzed traces through every
   recombination policy with the invariant auditors on, plus the kernel
   parity, execution-engine parity (scalar event loop vs columnar batch
-  engine), and server-model cross-checks.
+  engine), serve-vs-simulate parity (one rotating policy per case), and
+  server-model cross-checks;
+* ``--serve-parity DIR`` — replay every golden trace under ``DIR``
+  through the online serving plane (:mod:`repro.serve`) and certify
+  serve ≡ simulate bit-for-bit across every policy.
 
 With no pass selected, a default smoke run executes: the corpus (when
 ``tests/corpus`` exists), a small fuzz batch, and a small differential
@@ -26,13 +30,14 @@ import sys
 import time
 from pathlib import Path
 
-from .corpus import replay_corpus
+from .corpus import load_golden, replay_corpus
 from .differential import (
     DEFAULT_POLICIES,
     differential_policies,
     engine_parity,
     fcfs_lindley_check,
     kernel_parity,
+    serve_parity,
 )
 from .fuzz import GENERATORS, fuzz_oracle, make_case
 
@@ -119,13 +124,47 @@ def _run_differential(
             status = 1
             problems += 1
             lines.append(report.summary())
+        # Serve-vs-simulate parity: one policy per case, rotating through
+        # the full set so N >= len(policies) covers every policy.
+        serve_policy = DEFAULT_POLICIES[index % len(DEFAULT_POLICIES)]
+        serving = serve_parity(
+            workload, case.capacity, max(1.0, case.capacity / 2), case.delta,
+            policies=(serve_policy,),
+        )
+        if not serving.ok:
+            status = 1
+            problems += 1
+            lines.append(serving.summary())
     if status == 0:
         lines.append(
             f"differential OK: {n_cases} traces x {len(policies)} policies, "
-            "kernels, engines and invariants agree"
+            "kernels, engines, serve harness and invariants agree"
         )
     else:
         lines.insert(0, f"differential FAILED: {problems} problem(s)")
+    return status, lines
+
+
+def _run_serve_parity(directory: Path) -> tuple[int, list[str]]:
+    """Replay every golden trace through the serving plane, all policies."""
+    paths = sorted(Path(directory).glob("*.json"))
+    if not paths:
+        return 1, [f"serve-parity: no golden traces under {directory}"]
+    lines: list[str] = []
+    status = 0
+    for path in paths:
+        golden = load_golden(path)
+        report = serve_parity(
+            golden.workload(), golden.capacity, golden.delta_c, golden.delta
+        )
+        if not report.ok:
+            status = 1
+            lines.append(f"{path.name}: {report.summary()}")
+    if status == 0:
+        lines.append(
+            f"serve parity OK: {len(paths)} golden traces x "
+            f"{len(DEFAULT_POLICIES)} policies, serve == simulate bit-for-bit"
+        )
     return status, lines
 
 
@@ -155,6 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run N fuzzed traces through every policy with auditors on",
     )
     parser.add_argument(
+        "--serve-parity",
+        metavar="DIR",
+        default=None,
+        help="replay every golden trace under DIR through the serving "
+        "plane and certify serve == simulate bit-for-bit",
+    )
+    parser.add_argument(
         "--budget",
         type=float,
         metavar="SECONDS",
@@ -175,7 +221,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     passes: list[tuple[int, list[str]]] = []
     selected = any(
-        value is not None for value in (args.corpus, args.fuzz, args.differential)
+        value is not None
+        for value in (args.corpus, args.fuzz, args.differential, args.serve_parity)
     )
     corpus = args.corpus
     fuzz_n = args.fuzz
@@ -187,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         diff_n = 4
     if corpus is not None:
         passes.append(_run_corpus(Path(corpus)))
+    if args.serve_parity is not None:
+        passes.append(_run_serve_parity(Path(args.serve_parity)))
     if fuzz_n is not None:
         passes.append(_run_fuzz(fuzz_n, args.seed, args.budget))
     if diff_n is not None:

@@ -412,6 +412,8 @@ def _scalar_columns(
     sim = Simulator()
     if policy == "split":
         system = SplitSystem(sim, cmin, delta_c, delta)
+    elif policy == "splitfarm":
+        system = SizeSplitSystem(sim, cmin, delta_c, delta)
     else:
         scheduler = make_scheduler(policy, cmin, delta_c, delta)
         server = constant_rate_server(sim, cmin + delta_c, name=policy)
@@ -517,6 +519,150 @@ def engine_parity(
         delta_c=float(delta_c),
         delta=float(delta),
         policies=tuple(policies),
+        max_drift=max_drift,
+        bit_identical=max_drift == 0.0,
+        divergences=tuple(divergences),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serve differential: the online control plane vs the offline simulator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeParityReport:
+    """Online :class:`~repro.serve.harness.ServiceHarness` vs ``run_policy``.
+
+    The serving plane replays the trace under virtual time — chunked
+    ``sim.run(until=...)`` epochs with a conservation audit at every
+    boundary, the live admission service predicting each classification
+    — and must reproduce the offline event engine **bit for bit**: the
+    per-index admitted set, every response time (``max_drift`` is the
+    worst disagreement in seconds; ``bit_identical`` records whether it
+    was exactly zero), the conservation ledger, and the primary
+    deadline-miss count.  Any predict-then-verify violation inside the
+    harness is a divergence too.
+    """
+
+    workload_name: str
+    cmin: float
+    delta_c: float
+    delta: float
+    policies: tuple[str, ...]
+    max_drift: float
+    bit_identical: bool
+    divergences: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        if self.ok:
+            exact = (
+                "bit-identical"
+                if self.bit_identical
+                else f"max drift {self.max_drift:.3e}s"
+            )
+            return (
+                f"serve parity OK across {list(self.policies)} on "
+                f"{self.workload_name}: {exact}"
+            )
+        return "serve parity VIOLATED: " + "; ".join(self.divergences)
+
+
+def serve_parity(
+    workload: Workload,
+    cmin: float,
+    delta_c: float,
+    delta: float,
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    chunks: int = 4,
+    atol: float = scalar.EPS,
+) -> ServeParityReport:
+    """Certify serve ≡ simulate on one trace.
+
+    For every policy, the trace is replayed twice — once through the
+    plain offline stack (:func:`_scalar_columns`, the exact component
+    recipe of ``run_policy``'s event path) and once through the online
+    :class:`~repro.serve.harness.ServiceHarness` in ``chunks`` audited
+    epochs — and the two runs are compared per arrival index.  The
+    topologies need a positive overflow capacity, so with
+    ``delta_c == 0`` they are skipped (recorded, not silently dropped).
+    """
+    from ..serve.harness import ServiceHarness
+
+    divergences: list[str] = []
+    max_drift = 0.0
+    checked: list[str] = []
+    for policy in policies:
+        if policy in ("split", "splitfarm") and delta_c <= 0:
+            continue
+        checked.append(policy)
+        offline_resp, offline_adm, offline_ledger, offline_misses = (
+            _scalar_columns(workload, policy, cmin, delta_c, delta)
+        )
+        harness = ServiceHarness(policy, cmin, delta_c, delta)
+        served = harness.replay(workload, chunks=chunks)
+        if served.violations:
+            divergences.append(
+                f"{policy}: {len(served.violations)} admission predictions "
+                f"contradicted the classifier (first: {served.violations[0]})"
+            )
+        if served.rejected:
+            divergences.append(
+                f"{policy}: parity replay rejected {len(served.rejected)} "
+                "requests (reject path must be unarmed)"
+            )
+        if not np.array_equal(offline_adm, served.admitted):
+            where = np.nonzero(offline_adm != served.admitted)[0]
+            divergences.append(
+                f"{policy}: admitted sets differ at indices "
+                f"{where[:5].tolist()} (offline {int(offline_adm.sum())} vs "
+                f"serve {int(served.admitted.sum())})"
+            )
+            continue
+        if np.isnan(served.responses).any() or np.isnan(offline_resp).any():
+            divergences.append(
+                f"{policy}: incomplete requests in a healthy replay "
+                f"(serve {int(np.isnan(served.responses).sum())}, "
+                f"offline {int(np.isnan(offline_resp).sum())})"
+            )
+            continue
+        drift = (
+            float(np.max(np.abs(offline_resp - served.responses)))
+            if len(workload)
+            else 0.0
+        )
+        max_drift = max(max_drift, drift)
+        if drift > atol:
+            worst = int(np.argmax(np.abs(offline_resp - served.responses)))
+            divergences.append(
+                f"{policy}: response times drift {drift:.3e}s at request "
+                f"{worst} (atol {atol:.0e})"
+            )
+        if dict(served.ledger) != dict(offline_ledger):
+            divergences.append(
+                f"{policy}: ledgers differ — serve {served.ledger} vs "
+                f"offline {offline_ledger}"
+            )
+        if served.primary_misses != offline_misses:
+            divergences.append(
+                f"{policy}: primary misses {served.primary_misses} (serve) "
+                f"vs {offline_misses} (offline)"
+            )
+        if served.conservation is not None and not served.conservation.ok:
+            divergences.append(
+                f"{policy}: serve conservation violated: "
+                f"{served.conservation.summary()}"
+            )
+    return ServeParityReport(
+        workload_name=workload.name,
+        cmin=float(cmin),
+        delta_c=float(delta_c),
+        delta=float(delta),
+        policies=tuple(checked),
         max_drift=max_drift,
         bit_identical=max_drift == 0.0,
         divergences=tuple(divergences),

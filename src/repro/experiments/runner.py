@@ -29,7 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from ..sim.rng import derive_seed
-from . import bufferbloat, extensions, resilience, sensitivity, tailbakeoff, workbound, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
+from . import bufferbloat, extensions, resilience, sensitivity, serve, tailbakeoff, workbound, figure2, figure3, figure4, figure5, figure6, figure7, figure8, table1
 from .common import ExperimentConfig
 
 #: Experiment registry: name -> (run, render) callables.
@@ -49,6 +49,7 @@ EXPERIMENTS = {
     "workbound": (workbound.run, workbound.render),
     "tailbakeoff": (tailbakeoff.run, tailbakeoff.render),
     "bufferbloat": (bufferbloat.run, bufferbloat.render),
+    "serve": (serve.run, serve.render),
 }
 
 #: Paper presentation order for "all" (extensions run only by name).

@@ -152,8 +152,16 @@ def attach_standard_probes(sampler: Sampler, system) -> Sampler:
     ``system`` is either a single-server driver (has ``scheduler`` and
     ``server``) or a split topology (has ``primary_driver`` and
     ``overflow_driver``); anything exposing the same attributes works.
+    A wrapper carrying its serving stack in a ``system`` attribute —
+    e.g. :class:`repro.serve.harness.ServiceHarness` — is unwrapped
+    first, so the whole control plane can be probed directly.
     Returns the sampler for chaining.
     """
+    known = ("scheduler", "primary_driver", "small_driver")
+    while not any(hasattr(system, a) for a in known) and hasattr(
+        system, "system"
+    ):
+        system = system.system
     if hasattr(system, "scheduler") and hasattr(system, "server"):
         _scheduler_probes(sampler, system.scheduler)
         _driver_probes(sampler, system)

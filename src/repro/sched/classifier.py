@@ -85,6 +85,40 @@ class OnlineRTTClassifier:
             raise ConfigurationError(f"limit must be >= 0, got {limit}")
         self.limit = min(int(limit), self.planned_limit)
 
+    def reprovision(self, capacity: float) -> None:
+        """Move the *planned* decomposition capacity (autoscaler actuation).
+
+        Unlike :meth:`set_limit` — which only shrinks the live bound
+        below the plan during degradation — this replaces the plan
+        itself: ``limit``, ``planned_limit`` and the work budget are all
+        recomputed from the new ``capacity``, exactly as the constructor
+        would.  It is the scale-*up* path :mod:`repro.serve` needs: a
+        re-provisioned ``Cmin + ΔC`` justifies a larger ``C·δ`` bound,
+        which ``set_limit``'s clamp deliberately refuses.  Any transient
+        degradation state is superseded (the caller owns coordinating
+        with an active :class:`~repro.faults.controller.AdaptiveShaper`).
+        Occupancy ledgers are untouched: outstanding admissions above a
+        shrunken bound simply drain, as with :meth:`set_limit`.
+        """
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity}"
+            )
+        self.capacity = float(capacity)
+        self.limit = math.floor(self.capacity * self.delta + 1e-9)
+        self.planned_limit = self.limit
+        self.work_limit = self.capacity * self.delta
+
+    def would_admit(self, request: Request) -> bool:
+        """Read-only peek: whether :meth:`classify` would admit right now.
+
+        No ledger moves, no deadline stamping — the live admission API
+        (:class:`repro.serve.admission.AdmissionService`) calls this
+        immediately before handing the request to the serving stack, and
+        the stack's own :meth:`classify` remains the single authority.
+        """
+        return self._admits(request)
+
     def classify(self, request: Request) -> QoSClass:
         """Assign the request to ``Q1`` or ``Q2`` (Algorithm 1).
 

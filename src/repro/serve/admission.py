@@ -1,0 +1,270 @@
+"""Live admission: admit/demote/reject answered from decomposed estimates.
+
+Two granularities, matching the paper's two admission stories:
+
+* **Per request** — :meth:`AdmissionService.decide` answers what the
+  online RTT classifier *will* do with a candidate request, via the
+  read-only :meth:`~repro.sched.classifier.OnlineRTTClassifier.
+  would_admit` peek (count or work mode, whichever the classifier runs),
+  optionally consulting the AQM window's slot state to *reject* instead
+  of demote under device saturation.  The peek never moves a ledger: the
+  serving stack's own ``classify()`` remains the single authority, and
+  the :class:`~repro.serve.harness.ServiceHarness` verifies every
+  prediction against the authoritative outcome (predict-then-verify),
+  which is how divergence between the service API and the certified
+  simulator is made impossible to hide.
+* **Per client** — :meth:`AdmissionService.admit_client` sizes a
+  candidate client by its decomposed capacity (Section 4.4's additivity
+  argument) exactly as the offline
+  :class:`~repro.core.admission.AdmissionController` does, generalized
+  with the ``device_depth`` δ_eff correction of
+  :class:`~repro.core.capacity.CapacityPlanner`: a serving stack running
+  a depth-``k`` device window must budget the queue's share of the
+  deadline at planning time too.  With ``device_depth=None`` every
+  decision is bit-identical to the offline controller on the same
+  client prefix (certified by ``tests/serve/test_admission.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.admission import AdmittedClient
+from ..core.capacity import CapacityPlanner
+from ..core.request import Request
+from ..core.sla import GraduatedSLA
+from ..core.workload import Workload
+from ..exceptions import AdmissionError, ConfigurationError
+from ..obs.registry import NULL_REGISTRY, MetricsRegistry
+from ..sched.classifier import OnlineRTTClassifier
+from ..server.aqm import InflightWindow
+
+
+class Verdict(enum.Enum):
+    """Outcome of one per-request admission decision."""
+
+    #: The classifier will admit into the guaranteed class (``Q1``).
+    ADMIT = "admit"
+    #: The classifier will assign the overflow class (``Q2``).
+    DEMOTE = "demote"
+    #: Refused outright (overload guard armed and the device saturated);
+    #: the request never reaches the serving stack.
+    REJECT = "reject"
+    #: Classifier-free policy (FCFS/SRPT/...): nothing to decide.
+    PASS = "pass"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One answered admit/demote/reject query, with the state it saw."""
+
+    verdict: Verdict
+    reason: str
+    #: Classifier occupancy/bound at decision time (``None`` for PASS).
+    len_q1: int | None = None
+    limit: int | None = None
+    #: AQM window occupancy at decision time (``None``: no window).
+    window_occupancy: int | None = None
+
+    @property
+    def serves(self) -> bool:
+        """Whether the request proceeds into the serving stack."""
+        return self.verdict is not Verdict.REJECT
+
+
+class AdmissionService:
+    """The control plane's admission authority (requests and clients).
+
+    Parameters
+    ----------
+    classifier:
+        The serving stack's live :class:`~repro.sched.classifier.
+        OnlineRTTClassifier` (``None`` for classifier-free policies —
+        every per-request decision is then :attr:`Verdict.PASS`).
+    window:
+        The stack's :class:`~repro.server.aqm.InflightWindow`, consulted
+        per decision; ``None`` when no AQM window is armed.
+    reject_on_overload:
+        Arm the reject path: a request the classifier would demote is
+        *refused* while the window has no free slot (the device queue is
+        full — adding overflow work only bloats it).  Default off, which
+        makes the service a pure observer and keeps serve ≡ simulate
+        bit-identical; the harness's parity replays rely on that.
+    server_capacity, worst_case, headroom:
+        Arm the client-level half (:meth:`admit_client`), mirroring
+        :class:`~repro.core.admission.AdmissionController`'s policy
+        knobs.  ``server_capacity=None`` leaves it unarmed.
+    device_depth:
+        When set, client sizing plans against the δ_eff-corrected bound
+        (see :class:`~repro.core.capacity.CapacityPlanner`); ``None``
+        reproduces the offline controller's decisions exactly.
+    metrics:
+        Optional registry for ``serve.admission.*`` counters.
+    """
+
+    def __init__(
+        self,
+        classifier: OnlineRTTClassifier | None = None,
+        window: InflightWindow | None = None,
+        reject_on_overload: bool = False,
+        server_capacity: float | None = None,
+        worst_case: bool = False,
+        headroom: float = 0.0,
+        device_depth: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if server_capacity is not None and server_capacity <= 0:
+            raise ConfigurationError(
+                f"server capacity must be positive, got {server_capacity}"
+            )
+        if not 0.0 <= headroom < 1.0:
+            raise ConfigurationError(
+                f"headroom must be in [0, 1), got {headroom}"
+            )
+        self.classifier = classifier
+        self.window = window
+        self.reject_on_overload = bool(reject_on_overload)
+        self.server_capacity = server_capacity
+        self.worst_case = bool(worst_case)
+        self.headroom = float(headroom)
+        self.device_depth = device_depth
+        self.clients: list[AdmittedClient] = []
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_admit = metrics.counter("serve.admission.admit")
+        self._m_demote = metrics.counter("serve.admission.demote")
+        self._m_reject = metrics.counter("serve.admission.reject")
+        self._m_pass = metrics.counter("serve.admission.pass")
+        self._counters = {
+            Verdict.ADMIT: self._m_admit,
+            Verdict.DEMOTE: self._m_demote,
+            Verdict.REJECT: self._m_reject,
+            Verdict.PASS: self._m_pass,
+        }
+        #: Decision tallies by verdict (always-on, cheap).
+        self.decided: dict[Verdict, int] = {v: 0 for v in Verdict}
+
+    # ------------------------------------------------------------------
+    # Per-request decisions
+    # ------------------------------------------------------------------
+
+    def decide(self, request: Request) -> AdmissionDecision:
+        """Answer admit/demote/reject for one candidate request.
+
+        Read-only: no classifier ledger moves, no deadline stamping —
+        the stack's own ``classify()`` stays authoritative, and the
+        harness cross-checks this prediction against it.
+        """
+        occupancy = None if self.window is None else int(self.window.occupancy)
+        if self.classifier is None:
+            decision = AdmissionDecision(
+                verdict=Verdict.PASS,
+                reason="classifier-free policy: requests are not classified",
+                window_occupancy=occupancy,
+            )
+        elif self.classifier.would_admit(request):
+            decision = AdmissionDecision(
+                verdict=Verdict.ADMIT,
+                reason=(
+                    f"lenQ1 {self.classifier.len_q1} fits the "
+                    f"C*delta bound {self.classifier.limit}"
+                    if self.classifier.mode == "count"
+                    else (
+                        f"admitted work {self.classifier.work_q1:g} + "
+                        f"{request.service_demand:g} fits the work bound"
+                    )
+                ),
+                len_q1=self.classifier.len_q1,
+                limit=self.classifier.limit,
+                window_occupancy=occupancy,
+            )
+        elif (
+            self.reject_on_overload
+            and self.window is not None
+            and not self.window.has_slot()
+        ):
+            decision = AdmissionDecision(
+                verdict=Verdict.REJECT,
+                reason=(
+                    "guaranteed class full and the device window is "
+                    f"saturated ({occupancy} in flight)"
+                ),
+                len_q1=self.classifier.len_q1,
+                limit=self.classifier.limit,
+                window_occupancy=occupancy,
+            )
+        else:
+            decision = AdmissionDecision(
+                verdict=Verdict.DEMOTE,
+                reason=(
+                    f"guaranteed class full "
+                    f"(lenQ1 {self.classifier.len_q1} at bound "
+                    f"{self.classifier.limit}): overflow"
+                ),
+                len_q1=self.classifier.len_q1,
+                limit=self.classifier.limit,
+                window_occupancy=occupancy,
+            )
+        self.decided[decision.verdict] += 1
+        self._counters[decision.verdict].inc()
+        return decision
+
+    # ------------------------------------------------------------------
+    # Per-client onboarding (the offline controller's policy, live)
+    # ------------------------------------------------------------------
+
+    @property
+    def committed(self) -> float:
+        """Capacity already promised to onboarded clients."""
+        return sum(c.planned_capacity for c in self.clients)
+
+    @property
+    def available(self) -> float:
+        if self.server_capacity is None:
+            raise ConfigurationError(
+                "client-level admission is unarmed: construct the service "
+                "with server_capacity"
+            )
+        return self.server_capacity * (1.0 - self.headroom) - self.committed
+
+    def required_capacity(self, workload: Workload, sla: GraduatedSLA) -> float:
+        """Capacity this client is billed for (max over tiers of Cmin).
+
+        Identical to :meth:`repro.core.admission.AdmissionController.
+        required_capacity`, except that a configured ``device_depth``
+        plans each tier against ``δ_eff(C) = δ − k·E[demand]/C``.
+        """
+        requirement = 0.0
+        for tier in sla:
+            fraction = 1.0 if self.worst_case else tier.fraction
+            planner = CapacityPlanner(
+                workload, tier.delta, device_depth=self.device_depth
+            )
+            requirement = max(requirement, planner.min_capacity(fraction))
+        return requirement
+
+    def admit_client(
+        self, workload: Workload, sla: GraduatedSLA
+    ) -> AdmittedClient | None:
+        """Onboard the client if its planned capacity fits; else ``None``.
+
+        The availability rule (``needed > available + 1e-9`` rejects) is
+        the offline controller's, verbatim — the serve-vs-core admission
+        differential holds decision-for-decision on any client prefix.
+        """
+        needed = self.required_capacity(workload, sla)
+        if needed > self.available + 1e-9:
+            return None
+        client = AdmittedClient(
+            name=workload.name, sla=sla, planned_capacity=needed
+        )
+        self.clients.append(client)
+        return client
+
+    def release_client(self, name: str) -> None:
+        """Offboard an onboarded client by name."""
+        for i, client in enumerate(self.clients):
+            if client.name == name:
+                del self.clients[i]
+                return
+        raise AdmissionError(f"no onboarded client named {name!r}")

@@ -1,0 +1,135 @@
+"""Asyncio ingestion front end: timestamped, size-carrying requests in.
+
+The wire format is newline-delimited JSON — one object per request:
+
+.. code-block:: json
+
+    {"arrival": 12.5, "size": 2.0}
+
+Both fields are optional: a missing ``arrival`` stamps the submission at
+the harness's current virtual time, a missing ``size`` means unit
+demand.  Each accepted line is staged into the harness's
+:class:`~repro.serve.harness.StagedSource` — entering the serving plane
+through exactly the same admission gate as a replayed trace — and
+answered with the staged index:
+
+.. code-block:: json
+
+    {"ok": true, "index": 42, "arrival": 12.5}
+
+Two entry points share all validation logic, so the protocol is testable
+without sockets:
+
+* :meth:`IngestServer.submit` / :meth:`IngestServer.handle_line` —
+  direct, synchronous, used by the CLI and the tests;
+* :meth:`IngestServer.serve` — a real ``asyncio.start_server`` endpoint
+  speaking the same lines over TCP.
+
+Out-of-order timestamps are clamped forward (an ingest endpoint cannot
+rewrite history): the staged arrival is never before the previously
+staged one nor before the harness clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..exceptions import ConfigurationError
+from .harness import ServiceHarness
+
+
+class IngestServer:
+    """Front door of the serving plane.
+
+    Parameters
+    ----------
+    harness:
+        The :class:`~repro.serve.harness.ServiceHarness` to feed.
+    clock:
+        Zero-argument callable supplying "now" for unstamped
+        submissions; defaults to the harness's virtual clock.
+    """
+
+    def __init__(self, harness: ServiceHarness, clock=None):
+        self.harness = harness
+        self._clock = clock if clock is not None else (lambda: harness.sim.now)
+        self._last = 0.0
+        self._server: asyncio.AbstractServer | None = None
+        self.accepted = 0
+        self.malformed = 0
+
+    # ------------------------------------------------------------------
+    # Protocol core (socket-free)
+    # ------------------------------------------------------------------
+
+    def submit(self, arrival: float | None = None, size: float | None = None) -> dict:
+        """Stage one request; returns the response object."""
+        now = float(self._clock())
+        requested = now if arrival is None else float(arrival)
+        # Clamp forward: monotone staging is the source's contract.
+        stamped = max(requested, self._last, now)
+        try:
+            index = self.harness.source.stage(stamped, size)
+        except ConfigurationError as exc:
+            self.malformed += 1
+            return {"ok": False, "error": str(exc)}
+        self._last = stamped
+        self.accepted += 1
+        return {"ok": True, "index": index, "arrival": stamped}
+
+    def handle_line(self, line: str) -> dict:
+        """Parse and stage one protocol line (never raises)."""
+        line = line.strip()
+        if not line:
+            self.malformed += 1
+            return {"ok": False, "error": "empty line"}
+        try:
+            payload = json.loads(line)
+        except ValueError as exc:
+            self.malformed += 1
+            return {"ok": False, "error": f"bad JSON: {exc}"}
+        if not isinstance(payload, dict):
+            self.malformed += 1
+            return {"ok": False, "error": "expected a JSON object"}
+        unknown = set(payload) - {"arrival", "size"}
+        if unknown:
+            self.malformed += 1
+            return {"ok": False, "error": f"unknown fields {sorted(unknown)}"}
+        arrival = payload.get("arrival")
+        size = payload.get("size")
+        for name, value in (("arrival", arrival), ("size", size)):
+            if value is not None and not isinstance(value, (int, float)):
+                self.malformed += 1
+                return {"ok": False, "error": f"{name} must be a number"}
+        return self.submit(arrival=arrival, size=size)
+
+    # ------------------------------------------------------------------
+    # TCP endpoint
+    # ------------------------------------------------------------------
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind the JSON-lines endpoint; returns the bound address."""
+        self._server = await asyncio.start_server(self._handle_client, host, port)
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self.handle_line(line.decode("utf-8", "replace"))
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None

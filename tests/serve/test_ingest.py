@@ -1,0 +1,119 @@
+"""IngestServer: the JSON-lines front door, with and without sockets."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import IngestServer, ServiceHarness
+
+CMIN, DELTA_C, DELTA = 4.0, 2.0, 0.5
+
+
+def _harness() -> ServiceHarness:
+    return ServiceHarness("split", CMIN, DELTA_C, DELTA)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        ("line", "error"),
+        [
+            ("", "empty line"),
+            ("   ", "empty line"),
+            ("{not json", "bad JSON"),
+            ("[1, 2]", "JSON object"),
+            ('{"arrival": 1.0, "qos": "gold"}', "unknown fields"),
+            ('{"arrival": "soon"}', "arrival must be a number"),
+            ('{"size": "big"}', "size must be a number"),
+            ('{"size": -2.0}', "positive"),
+        ],
+    )
+    def test_malformed_lines_never_raise(self, line, error):
+        server = IngestServer(_harness())
+        response = server.handle_line(line)
+        assert response["ok"] is False
+        assert error in response["error"]
+        assert server.malformed == 1
+        assert server.accepted == 0
+
+    def test_accepted_lines_stage_in_order(self):
+        harness = _harness()
+        server = IngestServer(harness)
+        first = server.handle_line('{"arrival": 1.5}')
+        second = server.handle_line('{"arrival": 3.0, "size": 2.5}')
+        assert first == {"ok": True, "index": 0, "arrival": 1.5}
+        assert second == {"ok": True, "index": 1, "arrival": 3.0}
+        assert server.accepted == 2
+        result = harness.run()
+        assert result.ledger["completed"] == 2
+        assert harness.source.requests[1].service_demand == 2.5
+
+    def test_out_of_order_submissions_are_clamped_forward(self):
+        server = IngestServer(_harness())
+        server.submit(arrival=5.0)
+        stale = server.submit(arrival=1.0)
+        assert stale["ok"] is True
+        assert stale["arrival"] == 5.0  # history cannot be rewritten
+
+    def test_unstamped_submission_uses_the_clock(self):
+        ticks = iter([2.5, 7.25])
+        server = IngestServer(_harness(), clock=lambda: next(ticks))
+        assert server.submit()["arrival"] == 2.5
+        assert server.submit()["arrival"] == 7.25
+
+    def test_clock_defaults_to_virtual_time(self):
+        harness = _harness()
+        server = IngestServer(harness)
+        server.submit(arrival=2.0)
+        harness.run()
+        assert harness.sim.now >= 2.0
+        # Post-run submissions stamp at (clamped) virtual now.
+        response = server.submit(arrival=0.0)
+        assert response["arrival"] == harness.sim.now
+
+
+class TestSocketEndpoint:
+    def test_tcp_round_trip(self):
+        harness = _harness()
+        server = IngestServer(harness)
+        lines = [
+            b'{"arrival": 1.0}\n',
+            b"not json\n",
+            b'{"arrival": 2.0, "size": 2.5}\n',
+        ]
+
+        async def drive():
+            host, port = await server.serve()
+            reader, writer = await asyncio.open_connection(host, port)
+            for line in lines:
+                writer.write(line)
+            await writer.drain()
+            replies = [
+                json.loads(await reader.readline()) for _ in range(len(lines))
+            ]
+            writer.close()
+            await writer.wait_closed()
+            await server.close()
+            return replies
+
+        replies = asyncio.run(drive())
+        assert replies[0] == {"ok": True, "index": 0, "arrival": 1.0}
+        assert replies[1]["ok"] is False
+        assert replies[2] == {"ok": True, "index": 1, "arrival": 2.0}
+        assert server.accepted == 2
+        assert server.malformed == 1
+        # The staged requests then run under virtual time as usual.
+        result = harness.run()
+        assert result.ledger["completed"] == 2
+
+    def test_close_is_idempotent(self):
+        server = IngestServer(_harness())
+
+        async def drive():
+            await server.serve()
+            await server.close()
+            await server.close()
+
+        asyncio.run(drive())
